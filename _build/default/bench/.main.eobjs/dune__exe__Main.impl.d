@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Noc_arch Noc_benchkit Noc_core Noc_power Noc_rtl Noc_sim Noc_traffic Noc_util Printf Staged Test Time Toolkit

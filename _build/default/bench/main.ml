@@ -1,0 +1,156 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table/figure of the paper's evaluation
+   (Sec 6) with this implementation and prints them next to the paper's
+   expected shapes — the reproduction artefact recorded in
+   EXPERIMENTS.md.
+
+   Part 2 is a Bechamel performance suite with one measurement per
+   figure, timing the core computation that the figure exercises (the
+   paper reports "less than few minutes on a Linux workstation" for all
+   benchmarks; these measurements document where this implementation
+   stands). *)
+
+module Config = Noc_arch.Noc_config
+module DF = Noc_core.Design_flow
+module Mapping = Noc_core.Mapping
+module WC = Noc_core.Worst_case
+module Syn = Noc_benchkit.Synthetic
+module SD = Noc_benchkit.Soc_designs
+module E = Noc_benchkit.Experiments
+
+open Bechamel
+open Toolkit
+
+(* One representative workload per figure; sizes kept moderate so the
+   whole suite completes in seconds per test. *)
+
+let must_map ucs =
+  match DF.run (DF.spec_of_use_cases ~name:"bench" ucs) with
+  | Ok d -> d
+  | Error e -> failwith e
+
+let bench_fig6a =
+  let ucs = SD.d1 () in
+  Test.make ~name:"fig6a:design-D1" (Staged.stage (fun () -> ignore (must_map ucs)))
+
+let bench_fig6b =
+  let ucs = Syn.generate ~seed:200 ~params:Syn.spread_params ~use_cases:5 in
+  Test.make ~name:"fig6b:design-Sp5-ours-vs-wc"
+    (Staged.stage (fun () ->
+         ignore (must_map ucs);
+         ignore (WC.map_design ucs)))
+
+let bench_fig6c =
+  let ucs =
+    Syn.generate_family ~seed:300 ~params:Syn.bottleneck_params ~use_cases:5 ~similarity:0.4
+  in
+  Test.make ~name:"fig6c:design-Bot5-ours-vs-wc"
+    (Staged.stage (fun () ->
+         ignore (must_map ucs);
+         ignore (WC.map_design ucs)))
+
+let bench_s62 =
+  let ucs = Syn.generate ~seed:200 ~params:Syn.spread_params ~use_cases:40 in
+  Test.make ~name:"s62:design-Sp40-ours" (Staged.stage (fun () -> ignore (must_map ucs)))
+
+let bench_fig7a =
+  let ucs = SD.d1 () in
+  let groups = List.mapi (fun i _ -> [ i ]) ucs in
+  Test.make ~name:"fig7a:pareto-point-500MHz"
+    (Staged.stage (fun () ->
+         ignore
+           (Noc_power.Pareto.sweep ~frequencies:[ 500.0 ] ~config:Config.default ~groups ucs)))
+
+let bench_fig7b =
+  let ucs = SD.d1 () in
+  let design = (must_map ucs).DF.mapping in
+  let first = List.hd ucs in
+  Test.make ~name:"fig7b:min-freq-search"
+    (Staged.stage (fun () ->
+         ignore (Noc_power.Min_freq.for_use_case_on_design ~design first)))
+
+let bench_fig7c =
+  let base = Syn.generate ~seed:777 ~params:Syn.spread_params ~use_cases:10 in
+  let all, _ = Noc_core.Compound.generate base ~parallel:[ [ 0; 1 ] ] in
+  let groups = List.mapi (fun i _ -> [ i ]) all in
+  Test.make ~name:"fig7c:compound-mode-design"
+    (Staged.stage (fun () -> ignore (Mapping.map_design ~groups all)))
+
+let bench_substrate =
+  (* not a paper figure: the simulator and RTL backend, for context *)
+  let ucs = SD.example1_use_cases in
+  let d = must_map ucs in
+  let routes = Mapping.routes_of_use_case d.DF.mapping 0 in
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"simulate-3200-slots"
+        (Staged.stage (fun () ->
+             ignore
+               (Noc_sim.Simulator.simulate ~config:Config.default ~routes ~duration_slots:3200)));
+      Test.make ~name:"emit-vhdl"
+        (Staged.stage (fun () ->
+             ignore (Noc_rtl.Netlist.generate ~design_name:"bench" d.DF.mapping)));
+    ]
+
+let suite =
+  Test.make_grouped ~name:"nocmap"
+    [
+      bench_fig6a; bench_fig6b; bench_fig6c; bench_s62; bench_fig7a; bench_fig7b; bench_fig7c;
+      bench_substrate;
+    ]
+
+let run_perf_suite () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.8) ~kde:(Some 10) () in
+  let raw = Benchmark.all cfg [ instance ] suite in
+  let results = Analyze.all ols instance raw in
+  let table = Noc_util.Ascii_table.create ~header:[ "benchmark"; "time per run" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let pretty =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) ->
+          if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+          else Printf.sprintf "%.0f ns" est
+        | _ -> "n/a"
+      in
+      rows := (name, pretty) :: !rows)
+    results;
+  List.iter
+    (fun (name, pretty) -> Noc_util.Ascii_table.add_row table [ name; pretty ])
+    (List.sort compare !rows);
+  print_endline "Performance (Bechamel, monotonic clock):";
+  Noc_util.Ascii_table.print ~align:Noc_util.Ascii_table.Left table
+
+let print_worked_examples () =
+  (* Fig 2 / Fig 5 sanity rows: the worked examples design and verify. *)
+  print_endline "Fig 2 / Fig 5 worked examples";
+  let row name ucs =
+    match DF.run (DF.spec_of_use_cases ~name ucs) with
+    | Ok d ->
+      Printf.printf "  %-18s -> %d switches, verified=%b\n" name (DF.switch_count d)
+        (DF.verified d)
+    | Error _ -> Printf.printf "  %-18s -> FAILED\n" name
+  in
+  row "fig2-viper"
+    [ SD.viper_fragment_1;
+      Noc_traffic.Use_case.rename SD.viper_fragment_2 ~id:1 ~name:"viper-uc2" ];
+  row "fig5-example1" SD.example1_use_cases;
+  print_newline ()
+
+let () =
+  print_endline "=== Reproduction of the paper's evaluation (Sec 6) ===";
+  print_newline ();
+  print_worked_examples ();
+  E.print_all ();
+  print_endline "=== Ablations (design-choice sweeps) ===";
+  print_newline ();
+  Noc_benchkit.Ablations.print_all ();
+  print_endline "=== Performance suite ===";
+  print_newline ();
+  run_perf_suite ()

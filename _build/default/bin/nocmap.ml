@@ -1,0 +1,363 @@
+(* nocmap: command-line driver for the multi-use-case NoC design flow.
+
+   Subcommands:
+     map          design a NoC for a benchmark and print the result
+     experiments  regenerate the paper's figures
+     generate     print a synthetic benchmark's traffic
+     simulate     design, then simulate every use-case configuration *)
+
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Use_case = Noc_traffic.Use_case
+module DF = Noc_core.Design_flow
+module Mapping = Noc_core.Mapping
+module WC = Noc_core.Worst_case
+module Syn = Noc_benchkit.Synthetic
+module SD = Noc_benchkit.Soc_designs
+module Sim = Noc_sim.Simulator
+
+open Cmdliner
+
+(* --- benchmark selection ------------------------------------------------- *)
+
+let load_benchmark ~name ~use_cases ~seed =
+  match String.lowercase_ascii name with
+  | "d1" -> Ok (SD.d1 ())
+  | "d2" -> Ok (SD.d2 ())
+  | "d3" -> Ok (SD.d3 ())
+  | "d4" -> Ok (SD.d4 ())
+  | "example1" -> Ok SD.example1_use_cases
+  | "viper" ->
+    Ok [ SD.viper_fragment_1; Use_case.rename SD.viper_fragment_2 ~id:1 ~name:"viper-uc2" ]
+  | "mobile" -> Ok (SD.mobile_phone ())
+  | "sp" -> Ok (Syn.generate ~seed ~params:Syn.spread_params ~use_cases)
+  | "bot" -> Ok (Syn.generate ~seed ~params:Syn.bottleneck_params ~use_cases)
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown benchmark '%s' (expected d1|d2|d3|d4|example1|viper|mobile|sp|bot)" other)
+
+(* --- common options -------------------------------------------------------- *)
+
+let bench_arg =
+  let doc = "Benchmark: d1, d2, d3, d4, example1, viper, mobile, sp (spread), bot (bottleneck)." in
+  Arg.(value & pos 0 string "example1" & info [] ~docv:"BENCHMARK" ~doc)
+
+let use_cases_arg =
+  let doc = "Number of use-cases for synthetic benchmarks (sp/bot)." in
+  Arg.(value & opt int 5 & info [ "use-cases"; "u" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for synthetic benchmarks." in
+  Arg.(value & opt int 200 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let freq_arg =
+  let doc = "NoC operating frequency, MHz." in
+  Arg.(value & opt float 500.0 & info [ "freq"; "f" ] ~docv:"MHZ" ~doc)
+
+let slots_arg =
+  let doc = "TDMA slot-table size." in
+  Arg.(value & opt int 32 & info [ "slots" ] ~docv:"SLOTS" ~doc)
+
+let nis_arg =
+  let doc = "Maximum NIs (cores) per switch." in
+  Arg.(value & opt int 8 & info [ "nis-per-switch" ] ~docv:"N" ~doc)
+
+let xy_arg =
+  let doc = "Use dimension-ordered (XY) routing instead of min-cost path search." in
+  Arg.(value & flag & info [ "xy" ] ~doc)
+
+let refine_arg =
+  let doc = "Run the simulated-annealing placement refinement after mapping." in
+  Arg.(value & flag & info [ "refine" ] ~doc)
+
+let wc_arg =
+  let doc = "Design with the worst-case baseline method [25] instead of the multi-use-case method." in
+  Arg.(value & flag & info [ "wc" ] ~doc)
+
+let systemc_arg =
+  let doc = "Write the generated SystemC model to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "systemc" ] ~docv:"FILE" ~doc)
+
+let spec_arg =
+  let doc = "Read the design from a spec file instead of a named benchmark (see Noc_core.Spec_parser for the format)." in
+  Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE" ~doc)
+
+let vhdl_arg =
+  let doc = "Write the generated structural VHDL to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "vhdl" ] ~docv:"FILE" ~doc)
+
+let make_config ~freq ~slots ~nis ~xy =
+  {
+    Config.default with
+    freq_mhz = freq;
+    slots;
+    nis_per_switch = nis;
+    routing = (if xy then Config.Xy else Config.Min_cost);
+  }
+
+(* --- map -------------------------------------------------------------------- *)
+
+let print_design name mapping verified =
+  Format.printf "design %s: mapped onto %a (%d switches in use)@." name Mesh.pp
+    mapping.Mapping.mesh
+    (Mapping.switches_in_use mapping);
+  Format.printf "verification: %s@." (if verified then "OK" else "FAILED");
+  Format.printf "area: %a, power: %.1f mW@." Noc_util.Units.pp_area
+    (Noc_power.Area_model.noc_area mapping)
+    (Noc_power.Power_model.noc_power mapping).Noc_power.Power_model.total_mw
+
+let emit_vhdl path name mapping =
+  match path with
+  | None -> `Ok ()
+  | Some file ->
+    let text = Noc_rtl.Netlist.generate ~design_name:name mapping in
+    (match Noc_rtl.Wellformed.check text with
+    | Ok () ->
+      Out_channel.with_open_text file (fun oc -> output_string oc text);
+      Format.printf "VHDL written to %s (%d bytes, lint clean)@." file (String.length text);
+      `Ok ()
+    | Error issues ->
+      `Error (false, Printf.sprintf "generated VHDL failed lint (%d issues)" (List.length issues)))
+
+let emit_systemc path name mapping =
+  match path with
+  | None -> `Ok ()
+  | Some file ->
+    let text = Noc_rtl.Systemc.generate ~design_name:name mapping in
+    (match Noc_rtl.Systemc.check text with
+    | Ok () ->
+      Out_channel.with_open_text file (fun oc -> output_string oc text);
+      Format.printf "SystemC written to %s (%d bytes, lint clean)@." file (String.length text);
+      `Ok ()
+    | Error issues ->
+      `Error
+        (false, Printf.sprintf "generated SystemC failed lint (%d issues)" (List.length issues)))
+
+let load_spec ~bench ~use_cases ~seed ~spec_file =
+  match spec_file with
+  | Some file -> (
+    match Noc_core.Spec_parser.parse_file file with
+    | Ok spec -> Ok spec
+    | Error e -> Error (Format.asprintf "%s: %a" file Noc_core.Spec_parser.pp_error e))
+  | None -> (
+    match load_benchmark ~name:bench ~use_cases ~seed with
+    | Ok ucs -> Ok (DF.spec_of_use_cases ~name:bench ucs)
+    | Error msg -> Error msg)
+
+let run_map bench use_cases seed freq slots nis xy refine wc vhdl systemc spec_file =
+  match load_spec ~bench ~use_cases ~seed ~spec_file with
+  | Error msg -> `Error (false, msg)
+  | Ok spec -> (
+    let both vhdl_res m =
+      match vhdl_res with `Ok () -> emit_systemc systemc spec.DF.name m | e -> e
+    in
+    let config = make_config ~freq ~slots ~nis ~xy in
+    if wc then
+      match WC.map_design ~config spec.DF.use_cases with
+      | Error failure -> `Error (false, Format.asprintf "%a" Mapping.pp_failure failure)
+      | Ok m ->
+        print_design (spec.DF.name ^ " (WC method)") m true;
+        both (emit_vhdl vhdl spec.DF.name m) m
+    else
+      match DF.run ~config ~refine spec with
+      | Error msg -> `Error (false, msg)
+      | Ok d ->
+        print_design spec.DF.name d.DF.mapping (DF.verified d);
+        both (emit_vhdl vhdl spec.DF.name d.DF.mapping) d.DF.mapping)
+
+let map_cmd =
+  let doc = "Design the smallest NoC satisfying every use-case of a benchmark." in
+  Cmd.v
+    (Cmd.info "map" ~doc)
+    Term.(
+      ret
+        (const run_map $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
+        $ xy_arg $ refine_arg $ wc_arg $ vhdl_arg $ systemc_arg $ spec_arg))
+
+(* --- experiments -------------------------------------------------------------- *)
+
+let experiments_arg =
+  let doc = "Which experiment to run: all, fig6a, fig6b, fig6c, s62, fig7a, fig7b, fig7c, ablations." in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+
+let run_experiments which =
+  let module E = Noc_benchkit.Experiments in
+  match String.lowercase_ascii which with
+  | "all" ->
+    E.print_all ();
+    Noc_benchkit.Ablations.print_all ();
+    `Ok ()
+  | "ablations" ->
+    Noc_benchkit.Ablations.print_all ();
+    `Ok ()
+  | one -> (
+    match E.print_one one with Ok () -> `Ok () | Error msg -> `Error (false, msg))
+
+let experiments_cmd =
+  let doc = "Regenerate the paper's evaluation figures (Fig 6a-c, Sec 6.2, Fig 7a-c)." in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(ret (const run_experiments $ experiments_arg))
+
+(* --- generate ------------------------------------------------------------------- *)
+
+let run_generate bench use_cases seed =
+  match load_benchmark ~name:bench ~use_cases ~seed with
+  | Error msg -> `Error (false, msg)
+  | Ok ucs ->
+    Format.printf "%a@.@." Noc_traffic.Traffic_stats.pp (Noc_traffic.Traffic_stats.compute ucs);
+    List.iter
+      (fun u ->
+        Format.printf "%a@." Use_case.pp u;
+        List.iter (fun f -> Format.printf "  %a@." Noc_traffic.Flow.pp f) u.Use_case.flows)
+      ucs;
+    `Ok ()
+
+let generate_cmd =
+  let doc = "Print the traffic description of a benchmark." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(ret (const run_generate $ bench_arg $ use_cases_arg $ seed_arg))
+
+(* --- simulate ------------------------------------------------------------------- *)
+
+let duration_arg =
+  let doc = "Simulation length in TDMA slots." in
+  Arg.(value & opt int 3200 & info [ "duration" ] ~docv:"SLOTS" ~doc)
+
+let run_simulate bench use_cases seed freq slots nis xy duration spec_file =
+  match load_spec ~bench ~use_cases ~seed ~spec_file with
+  | Error msg -> `Error (false, msg)
+  | Ok spec -> (
+    let config = make_config ~freq ~slots ~nis ~xy in
+    match DF.run ~config spec with
+    | Error msg -> `Error (false, msg)
+    | Ok d ->
+      let m = d.DF.mapping in
+      Format.printf "%a@.@." DF.pp_summary d;
+      List.iter
+        (fun u ->
+          let routes = Mapping.routes_of_use_case m u.Use_case.id in
+          let res = Sim.simulate ~config ~routes ~duration_slots:duration in
+          Format.printf "%s: %s (%d connections, %d collisions)@." u.Use_case.name
+            (if Sim.within_contract res then "contracts met" else "CONTRACT VIOLATION")
+            (List.length res.Sim.conns) res.Sim.collisions)
+        d.DF.all_use_cases;
+      `Ok ())
+
+let simulate_cmd =
+  let doc = "Design a NoC, then simulate every use-case configuration slot by slot." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      ret
+        (const run_simulate $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg
+       $ nis_arg $ xy_arg $ duration_arg $ spec_arg))
+
+(* --- export ------------------------------------------------------------------------ *)
+
+let json_arg =
+  let doc = "Write the design as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let dot_arg =
+  let doc = "Write the topology/placement as Graphviz DOT to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let dot_uc_arg =
+  let doc = "Write use-case $(docv)'s configuration heat map as DOT to FILE.dot." in
+  Arg.(value & opt (some int) None & info [ "dot-use-case" ] ~docv:"UC" ~doc)
+
+let run_export bench use_cases seed freq slots nis xy json dot dot_uc =
+  match load_benchmark ~name:bench ~use_cases ~seed with
+  | Error msg -> `Error (false, msg)
+  | Ok ucs -> (
+    let config = make_config ~freq ~slots ~nis ~xy in
+    match DF.run ~config (DF.spec_of_use_cases ~name:bench ucs) with
+    | Error msg -> `Error (false, msg)
+    | Ok d ->
+      let write file text =
+        Out_channel.with_open_text file (fun oc -> output_string oc text);
+        Format.printf "wrote %s (%d bytes)@." file (String.length text)
+      in
+      (match json with
+      | Some file -> write file (Noc_export.Design_export.design_to_string d)
+      | None -> ());
+      (match dot with
+      | Some file -> write file (Noc_export.Dot.topology d.DF.mapping)
+      | None -> ());
+      (match dot_uc with
+      | Some uc ->
+        write
+          (Printf.sprintf "%s_uc%d.dot" bench uc)
+          (Noc_export.Dot.use_case d.DF.mapping ~use_case:uc)
+      | None -> ());
+      if json = None && dot = None && dot_uc = None then
+        print_endline (Noc_export.Design_export.design_to_string d);
+      `Ok ())
+
+let export_cmd =
+  let doc = "Design a NoC and export it as JSON and/or Graphviz DOT." in
+  Cmd.v
+    (Cmd.info "export" ~doc)
+    Term.(
+      ret
+        (const run_export $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
+       $ xy_arg $ json_arg $ dot_arg $ dot_uc_arg))
+
+(* --- explore ------------------------------------------------------------------------ *)
+
+let torus_axis_arg =
+  let doc = "Also explore torus grids." in
+  Arg.(value & flag & info [ "torus" ] ~doc)
+
+let run_explore bench use_cases seed torus =
+  match load_benchmark ~name:bench ~use_cases ~seed with
+  | Error msg -> `Error (false, msg)
+  | Ok ucs ->
+    let groups = List.mapi (fun i _ -> [ i ]) ucs in
+    let axes =
+      let base = Noc_power.Design_space.default_axes in
+      if torus then
+        { base with Noc_power.Design_space.topologies = [ Mesh.Mesh; Mesh.Torus ] }
+      else base
+    in
+    let points =
+      Noc_power.Design_space.explore ~axes ~config:Config.default ~groups ucs
+    in
+    Noc_power.Design_space.print points;
+    `Ok ()
+
+let explore_cmd =
+  let doc = "Explore the (frequency x slot-table x topology) design space and mark the Pareto front." in
+  Cmd.v
+    (Cmd.info "explore" ~doc)
+    Term.(ret (const run_explore $ bench_arg $ use_cases_arg $ seed_arg $ torus_axis_arg))
+
+(* --- report ------------------------------------------------------------------------ *)
+
+let run_report bench use_cases seed freq slots nis xy spec_file =
+  match load_spec ~bench ~use_cases ~seed ~spec_file with
+  | Error msg -> `Error (false, msg)
+  | Ok spec -> (
+    let config = make_config ~freq ~slots ~nis ~xy in
+    match DF.run ~config spec with
+    | Error msg -> `Error (false, msg)
+    | Ok d ->
+      Noc_report.Design_report.print (Noc_report.Design_report.build d);
+      `Ok ())
+
+let report_cmd =
+  let doc = "Design a NoC and print the full analytic report (guarantees, slacks, utilization, buffers, switching costs)." in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(
+      ret
+        (const run_report $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
+       $ xy_arg $ spec_arg))
+
+(* --- main ------------------------------------------------------------------------ *)
+
+let () =
+  let doc = "multi-use-case NoC mapping (Murali et al., DATE 2006)" in
+  let info = Cmd.info "nocmap" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ map_cmd; experiments_cmd; generate_cmd; simulate_cmd; export_cmd; explore_cmd; report_cmd ]))

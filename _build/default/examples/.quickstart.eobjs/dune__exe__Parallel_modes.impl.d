@@ -1,0 +1,1 @@
+examples/parallel_modes.ml: Format List Noc_arch Noc_benchkit Noc_core Noc_power Noc_traffic Noc_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Noc_arch Noc_core Noc_sim Noc_traffic

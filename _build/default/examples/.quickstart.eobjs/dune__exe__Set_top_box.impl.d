@@ -1,0 +1,1 @@
+examples/set_top_box.ml: Float Format List Noc_arch Noc_core Noc_power Noc_rtl Noc_traffic Option String

@@ -1,0 +1,1 @@
+examples/set_top_box.mli:

@@ -1,0 +1,1 @@
+examples/spec_and_report.ml: Format Noc_core Noc_report String

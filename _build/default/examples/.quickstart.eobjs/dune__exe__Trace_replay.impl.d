@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Format List Noc_arch Noc_core Noc_sim Noc_traffic Noc_util

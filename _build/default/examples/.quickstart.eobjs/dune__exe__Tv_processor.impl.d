@@ -1,0 +1,1 @@
+examples/tv_processor.ml: Format List Noc_arch Noc_benchkit Noc_core Noc_power Noc_traffic Noc_util Printf String

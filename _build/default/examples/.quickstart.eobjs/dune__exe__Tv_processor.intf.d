@@ -1,0 +1,1 @@
+examples/tv_processor.mli:

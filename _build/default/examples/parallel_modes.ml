@@ -1,0 +1,71 @@
+(* Parallel use-cases and compound modes (paper Sec 4 and Sec 6.5):
+   how many use-cases can run in parallel on a given NoC, and at what
+   clock frequency?
+
+   Run with: dune exec examples/parallel_modes.exe *)
+
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Use_case = Noc_traffic.Use_case
+module Compound = Noc_core.Compound
+module Switching = Noc_core.Switching
+module Mapping = Noc_core.Mapping
+module Min_freq = Noc_power.Min_freq
+module Syn = Noc_benchkit.Synthetic
+module Table = Noc_util.Ascii_table
+
+let () =
+  (* A 20-core spread-traffic SoC with ten use-cases (the Fig 7c setup). *)
+  let base = Syn.generate ~seed:777 ~params:Syn.spread_params ~use_cases:10 in
+
+  (* Compound modes: disjoint sets of k use-cases running in parallel.
+     Their bandwidths sum per core pair; latency bounds tighten. *)
+  let sets k =
+    let rec chunks from acc =
+      if from + k > List.length base then List.rev acc
+      else chunks (from + k) (List.init k (fun j -> from + j) :: acc)
+    in
+    if k <= 1 then [] else chunks 0 []
+  in
+  let all2, compounds2 = Compound.generate base ~parallel:(sets 2) in
+  Format.printf "generated %d compound modes for pairwise parallelism:@."
+    (List.length compounds2);
+  List.iter
+    (fun c ->
+      let u = c.Compound.use_case in
+      Format.printf "  %s: %d flows, %.0f MB/s total@." u.Use_case.name
+        (Use_case.flow_count u) (Use_case.total_bandwidth u))
+    compounds2;
+
+  (* The switching graph: members of a compound must switch smoothly
+     with it, so each chunk collapses into one configuration group. *)
+  let sg = Switching.create ~use_cases:(List.length all2) ~smooth:[] in
+  List.iter (Switching.add_compound sg) compounds2;
+  Format.printf "@.%a@." Switching.pp sg;
+
+  (* Size the NoC once for the most demanding parallelism, then report
+     the clock each parallelism level needs on that same NoC. *)
+  let k_max = 4 in
+  let all_max, _ = Compound.generate base ~parallel:(sets k_max) in
+  let groups_of ucs = List.mapi (fun i _ -> [ i ]) ucs in
+  match Mapping.map_design ~groups:(groups_of all_max) all_max with
+  | Error f ->
+    Format.printf "sizing failed: %a@." Mapping.pp_failure f;
+    exit 1
+  | Ok sized ->
+    let mesh = sized.Mapping.mesh in
+    Format.printf "@.NoC sized for %d-way parallelism: %a@.@." k_max Mesh.pp mesh;
+    let t = Table.create ~header:[ "parallel use-cases"; "required frequency (MHz)" ] in
+    for k = 1 to k_max do
+      let all, _ = Compound.generate base ~parallel:(sets k) in
+      let freq =
+        Min_freq.for_use_cases_on_mesh ~config:Config.default ~mesh ~groups:(groups_of all) all
+      in
+      Table.add_row t
+        [
+          string_of_int k;
+          (match freq with Some f -> Printf.sprintf "%.0f" f | None -> "infeasible");
+        ]
+    done;
+    Table.print t;
+    print_endline "\n(the designer reads the row matching the product's parallelism budget)"

@@ -1,0 +1,58 @@
+(* Spec-driven design: describe the SoC in the textual spec format,
+   run the full flow, and print the analytic design report.
+
+   The same spec text can live in a file and be run with
+   `nocmap map --spec file.noc` / `nocmap report --spec file.noc`.
+
+   Run with: dune exec examples/spec_and_report.exe *)
+
+let spec_text =
+  String.concat "\n"
+    [
+      "name portable-player";
+      "cores 6";
+      "# cores: 0 memory, 1 cpu, 2 decoder, 3 display, 4 audio, 5 storage";
+      "";
+      "use-case video-playback";
+      "  flow 5 -> 0 bw 60";
+      "  flow 0 -> 2 bw 240";
+      "  flow 2 -> 0 bw 200";
+      "  flow 0 -> 3 bw 260";
+      "  flow 0 -> 4 bw 6";
+      "  flow 1 -> 0 bw 2 lat 600";
+      "";
+      "use-case music";
+      "  flow 5 -> 0 bw 10 be          # bulk prefetch: best effort";
+      "  flow 0 -> 4 bw 4 lat 900";
+      "  flow 1 -> 0 bw 1 lat 900";
+      "";
+      "use-case sync";
+      "  flow 5 -> 0 bw 80 be";
+      "  flow 0 -> 5 bw 80 be";
+      "  flow 1 -> 0 bw 2 lat 900";
+      "";
+      "parallel music sync              # listen while syncing";
+      "smooth video-playback music      # no glitch when pausing video";
+      "";
+    ]
+
+let () =
+  match Noc_core.Spec_parser.parse ~name:"portable-player" spec_text with
+  | Error e ->
+    Format.eprintf "spec error: %a@." Noc_core.Spec_parser.pp_error e;
+    exit 1
+  | Ok spec -> (
+    match Noc_core.Design_flow.run spec with
+    | Error msg ->
+      prerr_endline ("design failed: " ^ msg);
+      exit 1
+    | Ok design ->
+      let report = Noc_report.Design_report.build design in
+      Noc_report.Design_report.print report;
+      (match Noc_report.Design_report.min_slack_ns report with
+      | Some slack -> Format.printf "@.critical latency margin: %.0f ns@." slack
+      | None -> ());
+      (* the spec round-trips, so a designer can regenerate the file *)
+      print_newline ();
+      print_endline "# spec as re-emitted by the tool:";
+      print_string (Noc_core.Spec_parser.to_text spec))

@@ -1,0 +1,62 @@
+(* TV-processor SoC (the paper's D3 class): streaming architecture with
+   distributed local memories, compared against the worst-case design
+   method, plus an area-frequency Pareto exploration (paper Sec 6.3).
+
+   Run with: dune exec examples/tv_processor.exe *)
+
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module DF = Noc_core.Design_flow
+module Mapping = Noc_core.Mapping
+module WC = Noc_core.Worst_case
+module SD = Noc_benchkit.Soc_designs
+module Pareto = Noc_power.Pareto
+module Table = Noc_util.Ascii_table
+
+let () =
+  let use_cases = SD.d3 () in
+  Format.printf "TV processor: %a@.@." Noc_traffic.Traffic_stats.pp
+    (Noc_traffic.Traffic_stats.compute use_cases);
+
+  (* Multi-use-case method vs the worst-case baseline of [25]. *)
+  let ours =
+    match DF.run (DF.spec_of_use_cases ~name:"tv" use_cases) with
+    | Ok d -> Some d
+    | Error _ -> None
+  in
+  let wc = match WC.map_design use_cases with Ok m -> Some m | Error _ -> None in
+  (match (ours, wc) with
+  | Some d, Some w ->
+    let a = DF.switch_count d and b = Mapping.switch_count w in
+    Format.printf
+      "multi-use-case method: %d switches (%a)@.worst-case method:     %d switches (%a)@.normalized switch count: %.3f@.@."
+      a Mesh.pp d.DF.mapping.Mapping.mesh b Mesh.pp w.Mapping.mesh
+      (float_of_int a /. float_of_int b)
+  | Some d, None ->
+    Format.printf "multi-use-case method: %d switches; WC method: infeasible@.@."
+      (DF.switch_count d)
+  | None, _ -> Format.printf "design failed@.");
+
+  (* Area-frequency trade-off (Figure 7a's experiment, on this design). *)
+  let groups = List.mapi (fun i _ -> [ i ]) use_cases in
+  let points =
+    Pareto.sweep
+      ~frequencies:[ 200.0; 300.0; 500.0; 800.0; 1200.0; 1600.0; 2000.0 ]
+      ~config:Config.default ~groups use_cases
+  in
+  let t = Table.create ~header:[ "freq (MHz)"; "switches"; "area (mm2)" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          Printf.sprintf "%.0f" p.Pareto.freq_mhz;
+          (match p.Pareto.switches with Some s -> string_of_int s | None -> "infeasible");
+          (match p.Pareto.area_mm2 with Some a -> Printf.sprintf "%.3f" a | None -> "-");
+        ])
+    points;
+  Format.printf "area-frequency trade-off:@.";
+  Table.print t;
+  let front = Pareto.pareto_front points in
+  Format.printf "@.Pareto-optimal operating points: %s@."
+    (String.concat ", "
+       (List.map (fun p -> Printf.sprintf "%.0f MHz" p.Pareto.freq_mhz) front))

@@ -1,0 +1,1 @@
+lib/arch/mesh.ml: Array Format Hashtbl List Noc_graph Option

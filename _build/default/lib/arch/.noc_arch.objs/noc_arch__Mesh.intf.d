@@ -1,0 +1,1 @@
+lib/arch/mesh.mli: Format Noc_graph

@@ -1,0 +1,1 @@
+lib/arch/ni_buffer.ml: Array List Noc_config Route Tdma

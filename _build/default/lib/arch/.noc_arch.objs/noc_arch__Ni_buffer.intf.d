@@ -1,0 +1,1 @@
+lib/arch/ni_buffer.mli: Noc_config Noc_util Route

@@ -1,0 +1,1 @@
+lib/arch/noc_config.ml: Format Mesh Noc_util

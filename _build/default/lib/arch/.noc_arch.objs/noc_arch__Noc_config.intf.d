@@ -1,0 +1,1 @@
+lib/arch/noc_config.mli: Format Mesh Noc_util

@@ -1,0 +1,1 @@
+lib/arch/route.ml: Format List Noc_config Noc_util String Tdma

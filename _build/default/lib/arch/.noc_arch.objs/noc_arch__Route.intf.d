@@ -1,0 +1,1 @@
+lib/arch/route.mli: Format Noc_config Noc_util

@@ -1,0 +1,1 @@
+lib/arch/service_curve.ml: List Noc_config Noc_util Route Tdma

@@ -1,0 +1,1 @@
+lib/arch/service_curve.mli: Noc_config Noc_util Route

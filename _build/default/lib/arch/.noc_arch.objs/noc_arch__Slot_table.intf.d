@@ -1,0 +1,1 @@
+lib/arch/slot_table.mli: Format

@@ -1,0 +1,1 @@
+lib/arch/tdma.ml: Array List Noc_config Slot_table

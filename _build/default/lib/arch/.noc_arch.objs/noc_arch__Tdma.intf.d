@@ -1,0 +1,1 @@
+lib/arch/tdma.mli: Noc_config Noc_util Slot_table

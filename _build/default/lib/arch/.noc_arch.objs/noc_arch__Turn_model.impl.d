@@ -1,0 +1,1 @@
+lib/arch/turn_model.ml: Array Hashtbl List Mesh Option Route

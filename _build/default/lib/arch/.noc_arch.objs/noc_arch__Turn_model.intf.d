@@ -1,0 +1,1 @@
+lib/arch/turn_model.mli: Mesh Route

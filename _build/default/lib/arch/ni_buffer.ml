@@ -1,0 +1,34 @@
+let payload_bytes config =
+  float_of_int config.Noc_config.slot_cycles
+  *. float_of_int config.Noc_config.link_width_bits /. 8.0
+
+let required_bytes ~config ~starts ~bw =
+  if starts = [] then invalid_arg "Ni_buffer.required_bytes: no reserved slots";
+  if bw <= 0.0 then invalid_arg "Ni_buffer.required_bytes: non-positive bandwidth";
+  let gap_slots = Tdma.max_start_gap ~slots:config.Noc_config.slots ~starts in
+  let gap_ns = float_of_int gap_slots *. Noc_config.slot_duration_ns config in
+  (* bytes accumulating while the schedule is away, plus one payload of
+     slack for the flit being serialised *)
+  (bw /. 1000.0 *. gap_ns) +. payload_bytes config
+
+let word_bytes config = float_of_int config.Noc_config.link_width_bits /. 8.0
+
+let required_words ~config ~starts ~bw =
+  int_of_float (ceil (required_bytes ~config ~starts ~bw /. word_bytes config))
+
+let one_payload_words config =
+  int_of_float (ceil (payload_bytes config /. word_bytes config))
+
+let for_route ~config (r : Route.t) =
+  match (r.Route.service, r.Route.links) with
+  | Route.Be, _ | Route.Gt, [] -> one_payload_words config
+  | Route.Gt, _ -> required_words ~config ~starts:r.Route.slot_starts ~bw:r.Route.bandwidth
+
+let per_core_totals ~config ~cores routes =
+  let totals = Array.make cores 0 in
+  List.iter
+    (fun r ->
+      totals.(r.Route.src_core) <- totals.(r.Route.src_core) + for_route ~config r;
+      totals.(r.Route.dst_core) <- totals.(r.Route.dst_core) + one_payload_words config)
+    routes;
+  totals

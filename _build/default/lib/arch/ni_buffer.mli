@@ -1,0 +1,36 @@
+(** Network-interface buffer sizing.
+
+    An Æthereal-style NI decouples the core from the TDMA schedule: the
+    producer writes at the flow rate while the schedule drains one
+    payload at each reserved starting slot.  The buffer must absorb the
+    longest service gap, so its size falls directly out of the slot
+    reservation — one of the concrete design outputs the configuration
+    (paths + slot tables) implies.  Undersized NI buffers would stall
+    the core; the sizes computed here are worst-case safe. *)
+
+val required_bytes :
+  config:Noc_config.t ->
+  starts:int list ->
+  bw:Noc_util.Units.bandwidth ->
+  float
+(** Source-side buffer for a GT connection with the given reserved
+    starting slots and contracted bandwidth: the traffic accumulating
+    over the worst service gap, plus one payload of slack for the
+    in-flight flit.  @raise Invalid_argument on an empty start list or
+    non-positive bandwidth. *)
+
+val required_words :
+  config:Noc_config.t -> starts:int list -> bw:Noc_util.Units.bandwidth -> int
+(** [required_bytes] in link words, rounded up. *)
+
+val for_route : config:Noc_config.t -> Route.t -> int
+(** Buffer words for a configured connection.  Same-switch and
+    best-effort connections get one payload of buffering (the local
+    port forwards every slot / BE is flow-controlled by backpressure,
+    so one payload decouples the handshake). *)
+
+val per_core_totals :
+  config:Noc_config.t -> cores:int -> Route.t list -> int array
+(** Total buffer words each core's NI needs for the given configuration
+    (source-side buffers of its outgoing connections plus one payload
+    per incoming connection for reassembly). *)

@@ -1,0 +1,34 @@
+type service =
+  | Gt
+  | Be
+
+type t = {
+  flow_id : int;
+  use_case : int;
+  src_core : int;
+  dst_core : int;
+  src_switch : int;
+  dst_switch : int;
+  bandwidth : Noc_util.Units.bandwidth;
+  service : service;
+  links : int list;
+  slot_starts : int list;
+}
+
+let hops t = List.length t.links
+
+let uses_link t l = List.mem l t.links
+
+let worst_case_latency_ns ~config t =
+  match (t.service, t.links) with
+  | Be, _ -> infinity
+  | Gt, [] -> Noc_config.slot_duration_ns config
+  | Gt, _ -> Tdma.worst_case_latency_ns ~config ~starts:t.slot_starts ~hops:(hops t)
+
+let pp ppf t =
+  Format.fprintf ppf "flow %d (uc %d%s): sw%d -> sw%d via [%s] slots [%s]" t.flow_id
+    t.use_case
+    (match t.service with Gt -> "" | Be -> ", BE")
+    t.src_switch t.dst_switch
+    (String.concat ";" (List.map string_of_int t.links))
+    (String.concat ";" (List.map string_of_int t.slot_starts))

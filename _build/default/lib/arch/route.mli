@@ -1,0 +1,34 @@
+(** A configured connection: the path and TDMA reservation of one flow
+    in one use-case's NoC configuration. *)
+
+type service =
+  | Gt  (** guaranteed throughput: reserved slots, enforced contract *)
+  | Be  (** best effort: leftover slots, no reservation *)
+
+type t = {
+  flow_id : int;          (** connection / flow identifier *)
+  use_case : int;         (** use-case this configuration belongs to *)
+  src_core : int;         (** source core *)
+  dst_core : int;         (** destination core *)
+  src_switch : int;       (** switch hosting the source core's NI *)
+  dst_switch : int;       (** switch hosting the destination core's NI *)
+  bandwidth : Noc_util.Units.bandwidth;
+      (** the flow's required (GT) or offered (BE) bandwidth *)
+  service : service;
+  links : int list;       (** link ids in travel order; [] when both NIs share a switch *)
+  slot_starts : int list;
+      (** reserved starting slots (always empty for BE and for a
+          same-switch route) *)
+}
+
+val hops : t -> int
+(** Number of inter-switch links traversed. *)
+
+val uses_link : t -> int -> bool
+
+val worst_case_latency_ns : config:Noc_config.t -> t -> Noc_util.Units.latency
+(** Latency bound of the connection.  A same-switch route costs one
+    slot duration (NI-to-NI through the local switch); a best-effort
+    route has no bound ([infinity]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type t = {
+  rate_mbps : Noc_util.Units.bandwidth;
+  latency_ns : Noc_util.Units.latency;
+}
+
+let of_reservation ~config ~starts ~hops =
+  if starts = [] then invalid_arg "Service_curve.of_reservation: no reserved slots";
+  let gap = Tdma.max_start_gap ~slots:config.Noc_config.slots ~starts in
+  {
+    rate_mbps = float_of_int (List.length starts) *. Noc_config.slot_bandwidth config;
+    latency_ns = float_of_int (gap + hops) *. Noc_config.slot_duration_ns config;
+  }
+
+let of_route ~config (r : Route.t) =
+  match (r.Route.service, r.Route.links) with
+  | Route.Be, _ -> None
+  | Route.Gt, [] ->
+    (* local port: served every slot *)
+    Some
+      {
+        rate_mbps = Noc_config.link_capacity config;
+        latency_ns = Noc_config.slot_duration_ns config;
+      }
+  | Route.Gt, links ->
+    Some (of_reservation ~config ~starts:r.Route.slot_starts ~hops:(List.length links))
+
+let delay_bound_ns t ~burst_bytes ~rate_mbps =
+  if burst_bytes < 0.0 then invalid_arg "Service_curve.delay_bound_ns: negative burst";
+  if rate_mbps > t.rate_mbps +. 1e-9 then
+    invalid_arg "Service_curve.delay_bound_ns: input rate exceeds the guaranteed rate";
+  (* sigma bytes at rho MB/s = sigma/rho us = 1000*sigma/rho ns *)
+  t.latency_ns +. (1000.0 *. burst_bytes /. t.rate_mbps)
+
+let backlog_bound_bytes t ~burst_bytes ~rate_mbps =
+  if burst_bytes < 0.0 then invalid_arg "Service_curve.backlog_bound_bytes: negative burst";
+  if rate_mbps > t.rate_mbps +. 1e-9 then
+    invalid_arg "Service_curve.backlog_bound_bytes: input rate exceeds the guaranteed rate";
+  burst_bytes +. (rate_mbps /. 1000.0 *. t.latency_ns)
+
+let on_off_burstiness ~mean_mbps ~period_ns ~duty =
+  if duty <= 0.0 || duty > 1.0 then
+    invalid_arg "Service_curve.on_off_burstiness: duty must be in (0,1]";
+  if period_ns <= 0.0 then invalid_arg "Service_curve.on_off_burstiness: non-positive period";
+  mean_mbps /. 1000.0 *. period_ns *. (1.0 -. duty)

@@ -1,0 +1,42 @@
+(** Latency-rate service-curve analysis of a TDMA reservation.
+
+    A GT connection behaves as a latency-rate (LR) server: after at
+    most [theta] of waiting it serves at least at rate [rho].  Both
+    parameters fall out of the slot reservation, giving closed-form
+    delay and backlog bounds for burst-constrained inputs (standard
+    network calculus) — the analysis a designer runs when the input is
+    bursty rather than fluid. *)
+
+type t = {
+  rate_mbps : Noc_util.Units.bandwidth;  (** rho: guaranteed long-term rate *)
+  latency_ns : Noc_util.Units.latency;   (** theta: worst-case service start + transit *)
+}
+
+val of_reservation :
+  config:Noc_config.t -> starts:int list -> hops:int -> t
+(** LR parameters of a reservation: rho = slots x slot-bandwidth,
+    theta = (worst start gap + hops) slot durations.
+    @raise Invalid_argument on an empty start list. *)
+
+val of_route : config:Noc_config.t -> Route.t -> t option
+(** [None] for best-effort routes (no guarantee exists); same-switch GT
+    routes serve every slot. *)
+
+val delay_bound_ns :
+  t -> burst_bytes:float -> rate_mbps:Noc_util.Units.bandwidth -> Noc_util.Units.latency
+(** Worst-case delay of a (sigma, rho_in) token-bucket-constrained
+    input through the LR server: [theta + sigma/rho].
+    @raise Invalid_argument when the input rate exceeds the service
+    rate (the queue would grow without bound). *)
+
+val backlog_bound_bytes :
+  t -> burst_bytes:float -> rate_mbps:Noc_util.Units.bandwidth -> float
+(** Worst-case buffer occupancy: [sigma + rho_in x theta]. *)
+
+val on_off_burstiness :
+  mean_mbps:Noc_util.Units.bandwidth -> period_ns:float -> duty:float -> float
+(** Token-bucket burstiness (sigma, bytes) of an on/off source with the
+    given mean rate: the traffic the ON phase sends above the mean,
+    [mean x period x (1 - duty)].
+    @raise Invalid_argument unless [0 < duty <= 1] and the period is
+    positive. *)

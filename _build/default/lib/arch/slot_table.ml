@@ -1,0 +1,54 @@
+type t = { table : int array } (* -1 = free, otherwise owner id *)
+
+let create ~slots =
+  if slots <= 0 then invalid_arg "Slot_table.create: need positive slot count";
+  { table = Array.make slots (-1) }
+
+let slots t = Array.length t.table
+
+let copy t = { table = Array.copy t.table }
+
+let norm t i =
+  let s = slots t in
+  ((i mod s) + s) mod s
+
+let is_free t i = t.table.(norm t i) = -1
+
+let owner t i =
+  let v = t.table.(norm t i) in
+  if v = -1 then None else Some v
+
+let reserve t ~slot ~owner =
+  let i = norm t slot in
+  if t.table.(i) <> -1 then invalid_arg "Slot_table.reserve: slot already owned";
+  t.table.(i) <- owner
+
+let release t ~slot = t.table.(norm t slot) <- -1
+
+let release_owner t ~owner =
+  let freed = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v = owner then begin
+        t.table.(i) <- -1;
+        incr freed
+      end)
+    t.table;
+  !freed
+
+let used_count t = Array.fold_left (fun acc v -> if v = -1 then acc else acc + 1) 0 t.table
+let free_count t = slots t - used_count t
+
+let free_slots t =
+  let acc = ref [] in
+  for i = slots t - 1 downto 0 do
+    if t.table.(i) = -1 then acc := i :: !acc
+  done;
+  !acc
+
+let utilization t = float_of_int (used_count t) /. float_of_int (slots t)
+
+let pp ppf t =
+  Array.iter
+    (fun v -> if v = -1 then Format.pp_print_char ppf '.' else Format.fprintf ppf "%d" (v mod 10))
+    t.table

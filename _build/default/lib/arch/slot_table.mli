@@ -1,0 +1,43 @@
+(** TDMA slot table of one directed link.
+
+    Æthereal-style guaranteed-throughput NoCs divide link time into a
+    fixed revolution of slots; a GT connection owns a subset of slots
+    on every link of its path.  Owners are integer connection ids so
+    the mapping engine can release a connection when backtracking. *)
+
+type t
+
+val create : slots:int -> t
+(** All slots free.  @raise Invalid_argument unless [slots > 0]. *)
+
+val slots : t -> int
+
+val copy : t -> t
+
+val is_free : t -> int -> bool
+(** Slot indices are taken modulo the table size, so callers can pass
+    [start + hop] directly. *)
+
+val owner : t -> int -> int option
+
+val reserve : t -> slot:int -> owner:int -> unit
+(** @raise Invalid_argument if the slot is already owned. *)
+
+val release : t -> slot:int -> unit
+(** Releasing a free slot is a no-op. *)
+
+val release_owner : t -> owner:int -> int
+(** Free every slot held by [owner]; returns how many were freed. *)
+
+val free_count : t -> int
+
+val used_count : t -> int
+
+val free_slots : t -> int list
+(** Free slot indices, increasing. *)
+
+val utilization : t -> float
+(** Fraction of slots reserved, in [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact picture, e.g. [..3.3..1] (owner ids mod 10, [.] = free). *)

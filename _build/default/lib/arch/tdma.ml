@@ -1,0 +1,92 @@
+let check_tables tables =
+  let n = Array.length tables in
+  if n = 0 then invalid_arg "Tdma: empty path";
+  let s = Slot_table.slots tables.(0) in
+  Array.iter
+    (fun t -> if Slot_table.slots t <> s then invalid_arg "Tdma: slot-table size mismatch")
+    tables;
+  s
+
+let start_is_free ~tables ~start =
+  let _ = check_tables tables in
+  let ok = ref true in
+  Array.iteri (fun hop table -> if not (Slot_table.is_free table (start + hop)) then ok := false) tables;
+  !ok
+
+let free_starts ~tables =
+  let s = check_tables tables in
+  let acc = ref [] in
+  for start = s - 1 downto 0 do
+    if start_is_free ~tables ~start then acc := start :: !acc
+  done;
+  !acc
+
+(* Pick [count] starts out of the candidates, spreading them around
+   the revolution to minimise the worst waiting gap: repeatedly take
+   the candidate closest to the ideal evenly-spaced position. *)
+let choose_spread ~slots ~candidates ~count =
+  if count <= 0 then Some []
+  else begin
+    let candidates = Array.of_list (List.sort_uniq compare candidates) in
+    let n = Array.length candidates in
+    if n < count then None
+    else begin
+      let taken = Array.make n false in
+      let chosen = ref [] in
+      let cyclic_dist a b =
+        let d = abs (a - b) in
+        min d (slots - d)
+      in
+      for k = 0 to count - 1 do
+        let ideal =
+          if !chosen = [] then candidates.(0)
+          else (candidates.(0) + (k * slots / count)) mod slots
+        in
+        let best = ref (-1) in
+        let best_d = ref max_int in
+        for i = 0 to n - 1 do
+          if not taken.(i) then begin
+            let d = cyclic_dist candidates.(i) ideal in
+            if d < !best_d then begin
+              best_d := d;
+              best := i
+            end
+          end
+        done;
+        taken.(!best) <- true;
+        chosen := candidates.(!best) :: !chosen
+      done;
+      Some (List.sort compare !chosen)
+    end
+  end
+
+let find_aligned ~tables ~count =
+  let s = check_tables tables in
+  choose_spread ~slots:s ~candidates:(free_starts ~tables) ~count
+
+let reserve ~tables ~owner ~starts =
+  let _ = check_tables tables in
+  List.iter
+    (fun start ->
+      Array.iteri (fun hop table -> Slot_table.reserve table ~slot:(start + hop) ~owner) tables)
+    starts
+
+let release ~tables ~owner =
+  Array.iter (fun table -> ignore (Slot_table.release_owner table ~owner)) tables
+
+let max_start_gap ~slots ~starts =
+  match List.sort compare starts with
+  | [] -> invalid_arg "Tdma.max_start_gap: no starts"
+  | first :: _ as sorted ->
+    (* Gap between consecutive reserved starts, cyclically: a packet
+       arriving just after start s_i waits until s_{i+1}. *)
+    let rec gaps acc = function
+      | [ last ] -> (first + slots - last) :: acc
+      | a :: (b :: _ as rest) -> gaps ((b - a) :: acc) rest
+      | [] -> acc
+    in
+    List.fold_left max 0 (gaps [] sorted)
+
+let worst_case_latency_ns ~config ~starts ~hops =
+  let gap = max_start_gap ~slots:config.Noc_config.slots ~starts in
+  float_of_int (gap + hops) *. Noc_config.slot_duration_ns config

@@ -1,0 +1,71 @@
+type turn = { from_link : int; to_link : int }
+
+let dependencies ~routes =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+      if not (Hashtbl.mem seen (a, b)) then begin
+        Hashtbl.add seen (a, b) ();
+        acc := { from_link = a; to_link = b } :: !acc
+      end;
+      walk rest
+    | [ _ ] | [] -> ()
+  in
+  List.iter (fun r -> walk r.Route.links) routes;
+  List.rev !acc
+
+(* Cycle detection on the CDG by colouring (white/grey/black) DFS. *)
+let cdg_cycle ~links ~routes =
+  let adj = Array.make links [] in
+  List.iter (fun { from_link; to_link } -> adj.(from_link) <- to_link :: adj.(from_link))
+    (dependencies ~routes);
+  let colour = Array.make links 0 in
+  (* 0 white, 1 grey, 2 black *)
+  let exception Found of int list in
+  let rec dfs path u =
+    colour.(u) <- 1;
+    List.iter
+      (fun v ->
+        if colour.(v) = 1 then begin
+          (* cycle: the reverse path from u back to (and including) v *)
+          let rec take = function
+            | [] -> [ v ]
+            | x :: _ when x = v -> [ v ]
+            | x :: rest -> x :: take rest
+          in
+          raise (Found (List.rev (take (u :: path))))
+        end
+        else if colour.(v) = 0 then dfs (u :: path) v)
+      adj.(u);
+    colour.(u) <- 2
+  in
+  try
+    for u = 0 to links - 1 do
+      if colour.(u) = 0 then dfs [] u
+    done;
+    None
+  with Found cycle -> Some cycle
+
+let find_cycle ~links ~routes = cdg_cycle ~links ~routes
+
+let is_deadlock_free ~links ~routes = Option.is_none (cdg_cycle ~links ~routes)
+
+let xy_legal mesh route =
+  (* A route is XY-legal when it never moves in Y and then in X. *)
+  let direction l =
+    let src, dst = Mesh.link_endpoints mesh l in
+    let xs, ys = Mesh.coord mesh src and xd, yd = Mesh.coord mesh dst in
+    if ys = yd && xs <> xd then `X
+    else if xs = xd && ys <> yd then `Y
+    else `Express (* diagonal express channels are never XY-legal *)
+  in
+  let rec ok seen_y = function
+    | [] -> true
+    | l :: rest -> (
+      match direction l with
+      | `Express -> false
+      | `Y -> ok true rest
+      | `X -> if seen_y then false else ok false rest)
+  in
+  ok false route.Route.links

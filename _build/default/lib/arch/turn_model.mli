@@ -1,0 +1,27 @@
+(** Deadlock-freedom analysis of a route set.
+
+    Wormhole/virtual-circuit NoCs deadlock when the channel-dependency
+    graph (CDG) — links as nodes, an arc when some route enters link B
+    directly from link A — contains a cycle.  XY routing never creates
+    the two prohibited turns, so its CDG is acyclic by construction;
+    min-cost routing must be checked.  The paper inherits deadlock-free
+    path selection from [20]; we make the check explicit and run it in
+    the verification phase. *)
+
+type turn = {
+  from_link : int;
+  to_link : int;
+}
+
+val dependencies : routes:Route.t list -> turn list
+(** Every link-to-link turn taken by some route (deduplicated). *)
+
+val is_deadlock_free : links:int -> routes:Route.t list -> bool
+(** True iff the CDG over link ids [0 .. links-1] is acyclic. *)
+
+val find_cycle : links:int -> routes:Route.t list -> int list option
+(** A CDG cycle as a list of link ids, if one exists (for diagnostics). *)
+
+val xy_legal : Mesh.t -> Route.t -> bool
+(** Does the route only make XY-legal turns (no south/north-to-east/west
+    ... i.e. no Y-then-X movement)? *)

@@ -1,0 +1,1 @@
+lib/benchkit/ablations.ml: List Noc_arch Noc_core Noc_util Option Printf Soc_designs Synthetic

@@ -1,0 +1,1 @@
+lib/benchkit/experiments.ml: Float List Noc_arch Noc_core Noc_power Noc_traffic Noc_util Printf Soc_designs Synthetic Sys

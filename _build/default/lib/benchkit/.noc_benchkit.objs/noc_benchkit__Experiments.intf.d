@@ -1,0 +1,1 @@
+lib/benchkit/experiments.mli: Noc_power

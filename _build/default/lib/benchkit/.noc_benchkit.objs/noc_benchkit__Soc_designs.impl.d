@@ -1,0 +1,1 @@
+lib/benchkit/soc_designs.ml: Noc_core Noc_traffic Synthetic

@@ -1,0 +1,1 @@
+lib/benchkit/soc_designs.mli: Noc_core Noc_traffic

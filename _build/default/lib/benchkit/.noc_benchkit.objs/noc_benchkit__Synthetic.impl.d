@@ -1,0 +1,1 @@
+lib/benchkit/synthetic.ml: Hashtbl List Noc_traffic Noc_util Printf

@@ -1,0 +1,1 @@
+lib/benchkit/synthetic.mli: Noc_traffic Noc_util

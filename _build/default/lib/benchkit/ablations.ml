@@ -1,0 +1,171 @@
+module Config = Noc_arch.Noc_config
+module Mapping = Noc_core.Mapping
+module WC = Noc_core.Worst_case
+module Reconfig = Noc_core.Reconfig
+module Refine = Noc_core.Refine
+module DF = Noc_core.Design_flow
+module Table = Noc_util.Ascii_table
+
+type slot_row = {
+  slots : int;
+  ours_switches : int option;
+  wc_switches : int option;
+}
+
+let sp10 () = Synthetic.generate ~seed:200 ~params:Synthetic.spread_params ~use_cases:10
+
+let singleton_groups ucs = List.mapi (fun i _ -> [ i ]) ucs
+
+let switches_of = function Ok m -> Some (Mapping.switch_count m) | Error _ -> None
+
+let slot_table_sweep ?(sizes = [ 8; 16; 32; 64 ]) () =
+  let ucs = sp10 () in
+  List.map
+    (fun slots ->
+      let config = { Config.default with slots } in
+      {
+        slots;
+        ours_switches =
+          switches_of (Mapping.map_design ~config ~groups:(singleton_groups ucs) ucs);
+        wc_switches = switches_of (WC.map_design ~config ucs);
+      })
+    sizes
+
+type grouping_row = {
+  label : string;
+  switches : int option;
+  worst_reconfig_writes : int option;
+}
+
+let grouping_effect () =
+  let ucs = Synthetic.generate ~seed:200 ~params:Synthetic.spread_params ~use_cases:5 in
+  let n = List.length ucs in
+  let run label groups =
+    match Mapping.map_design ~groups ucs with
+    | Error _ -> { label; switches = None; worst_reconfig_writes = None }
+    | Ok m ->
+      {
+        label;
+        switches = Some (Mapping.switch_count m);
+        worst_reconfig_writes =
+          Option.map (fun c -> c.Reconfig.slot_writes) (Reconfig.worst m);
+      }
+  in
+  [
+    run "no groups (fully re-configurable)" (List.init n (fun i -> [ i ]));
+    run "pairs share a configuration" [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ];
+    run "one group (never re-configured)" [ List.init n (fun i -> i) ];
+  ]
+
+type routing_row = {
+  label : string;
+  switches : int option;
+  weighted_hops : float option;
+}
+
+let routing_effect () =
+  (* Scarce slots (8 per table) make alignment and detours decisive:
+     min-cost routing can steer around hot regions, XY cannot. *)
+  let ucs = sp10 () in
+  let run label routing =
+    let config = { Config.default with routing; slots = 8 } in
+    match Mapping.map_design ~config ~groups:(singleton_groups ucs) ucs with
+    | Error _ -> { label; switches = None; weighted_hops = None }
+    | Ok m ->
+      {
+        label;
+        switches = Some (Mapping.switch_count m);
+        weighted_hops = Some (Mapping.total_weighted_hops m);
+      }
+  in
+  [ run "min-cost path selection" Config.Min_cost; run "XY routing" Config.Xy ]
+
+type refinement_row = {
+  label : string;
+  weighted_hops : float option;
+  switches : int option;
+}
+
+let refinement_effect () =
+  let ucs = Soc_designs.d1 () in
+  (* Spreading the cores out gives the refinement something to move. *)
+  let config = { Config.default with nis_per_switch = 3 } in
+  match Mapping.map_design ~config ~groups:(singleton_groups ucs) ucs with
+  | Error _ ->
+    [ { label = "greedy mapping failed"; weighted_hops = None; switches = None } ]
+  | Ok m ->
+    let row label hops =
+      { label; weighted_hops = Some hops; switches = Some (Mapping.switch_count m) }
+    in
+    let sa = Refine.anneal m ucs in
+    let tb = Refine.tabu m ucs in
+    [
+      row "greedy only" (Mapping.total_weighted_hops m);
+      row "+ simulated annealing" sa.Refine.final_cost;
+      row "+ tabu search" tb.Refine.final_cost;
+    ]
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let string_of_opt_int = function Some n -> string_of_int n | None -> "infeasible"
+
+let print_slot_sweep (rows : slot_row list) =
+  print_endline "Ablation: TDMA slot-table size (Sp-10)";
+  let t = Table.create ~header:[ "slots"; "ours (switches)"; "WC (switches)" ] in
+  List.iter
+    (fun (r : slot_row) ->
+      Table.add_row t
+        [ string_of_int r.slots; string_of_opt_int r.ours_switches; string_of_opt_int r.wc_switches ])
+    rows;
+  Table.print t;
+  print_newline ()
+
+let print_grouping (rows : grouping_row list) =
+  print_endline "Ablation: smooth-switching groups (Sp-5)";
+  let t = Table.create ~header:[ "grouping"; "switches"; "worst switching (slot writes)" ] in
+  List.iter
+    (fun (r : grouping_row) ->
+      Table.add_row t
+        [
+          r.label;
+          string_of_opt_int r.switches;
+          (match r.worst_reconfig_writes with Some w -> string_of_int w | None -> "-");
+        ])
+    rows;
+  Table.print t;
+  print_newline ()
+
+let print_routing (rows : routing_row list) =
+  print_endline "Ablation: path selection policy (Sp-10, 8-slot tables)";
+  let t = Table.create ~header:[ "routing"; "switches"; "bandwidth-weighted hops" ] in
+  List.iter
+    (fun (r : routing_row) ->
+      Table.add_row t
+        [
+          r.label;
+          string_of_opt_int r.switches;
+          (match r.weighted_hops with Some h -> Printf.sprintf "%.0f" h | None -> "-");
+        ])
+    rows;
+  Table.print t;
+  print_newline ()
+
+let print_refinement (rows : refinement_row list) =
+  print_endline "Ablation: placement refinement (D1, 3 NIs/switch)";
+  let t = Table.create ~header:[ "refinement"; "bandwidth-weighted hops" ] in
+  List.iter
+    (fun (r : refinement_row) ->
+      Table.add_row t
+        [
+          r.label;
+          (match r.weighted_hops with Some h -> Printf.sprintf "%.0f" h | None -> "-");
+        ])
+    rows;
+  Table.print t;
+  print_newline ()
+
+let print_all () =
+  print_slot_sweep (slot_table_sweep ());
+  print_grouping (grouping_effect ());
+  print_routing (routing_effect ());
+  print_refinement (refinement_effect ())

@@ -1,0 +1,58 @@
+(** Ablation studies over the methodology's design choices.
+
+    The paper fixes several knobs (slot-table size, per-group
+    configuration sharing, min-cost path selection, optional annealing);
+    these sweeps quantify what each choice buys on the repository's
+    deterministic benchmarks.  Printed by [bench/main.exe] and
+    [bin/nocmap.exe experiments ablations]. *)
+
+type slot_row = {
+  slots : int;
+  ours_switches : int option;
+  wc_switches : int option;
+}
+
+val slot_table_sweep : ?sizes:int list -> unit -> slot_row list
+(** Effect of the TDMA slot-table size (default sizes 8, 16, 32, 64) on
+    the NoC size, for both methods, on the Sp-10 benchmark.  Small
+    tables allocate bandwidth coarsely and align poorly; large tables
+    cost switch area (see {!Noc_power.Area_model}). *)
+
+type grouping_row = {
+  label : string;
+  switches : int option;
+  worst_reconfig_writes : int option;
+      (** slot writes of the costliest use-case switching *)
+}
+
+val grouping_effect : unit -> grouping_row list
+(** Effect of the smooth-switching constraint set on the Sp-5
+    benchmark: no groups (every switching re-configurable — the paper's
+    best case), one big group (every use-case shares one configuration
+    — no re-configuration ever, approaching the worst-case method), and
+    pairwise groups in between.  Shows why identifying re-configurable
+    switchings (Algorithm 1) is what makes the method scale. *)
+
+type routing_row = {
+  label : string;
+  switches : int option;
+  weighted_hops : float option;
+}
+
+val routing_effect : unit -> routing_row list
+(** Min-cost path selection vs dimension-ordered (XY) routing on D1:
+    XY is deadlock-free by construction but cannot route around
+    congested regions. *)
+
+type refinement_row = {
+  label : string;
+  weighted_hops : float option;
+  switches : int option;
+}
+
+val refinement_effect : unit -> refinement_row list
+(** Greedy mapping alone vs + simulated annealing vs + tabu search
+    (paper §5's optional exploration step) on D1: bandwidth-weighted
+    hop count, the power-oriented cost. *)
+
+val print_all : unit -> unit

@@ -1,0 +1,377 @@
+module DF = Noc_core.Design_flow
+module Mapping = Noc_core.Mapping
+module WC = Noc_core.Worst_case
+module Mesh = Noc_arch.Mesh
+module Config = Noc_arch.Noc_config
+module Use_case = Noc_traffic.Use_case
+module Table = Noc_util.Ascii_table
+
+type method_result = {
+  switches : int option;
+  mesh : (int * int) option;
+  seconds : float;
+}
+
+type comparison_row = {
+  label : string;
+  ours : method_result;
+  wc : method_result;
+  ratio : float option;
+}
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let run_ours use_cases =
+  let result, seconds =
+    timed (fun () -> DF.run (DF.spec_of_use_cases ~name:"bench" use_cases))
+  in
+  match result with
+  | Ok d ->
+    let m = d.DF.mapping.Mapping.mesh in
+    {
+      switches = Some (DF.switch_count d);
+      mesh = Some (Mesh.width m, Mesh.height m);
+      seconds;
+    }
+  | Error _ -> { switches = None; mesh = None; seconds }
+
+let run_wc use_cases =
+  let result, seconds = timed (fun () -> WC.map_design use_cases) in
+  match result with
+  | Ok m ->
+    let mesh = m.Mapping.mesh in
+    {
+      switches = Some (Mapping.switch_count m);
+      mesh = Some (Mesh.width mesh, Mesh.height mesh);
+      seconds;
+    }
+  | Error _ -> { switches = None; mesh = None; seconds }
+
+let compare_methods ~label use_cases =
+  let ours = run_ours use_cases in
+  let wc = run_wc use_cases in
+  let ratio =
+    match (ours.switches, wc.switches) with
+    | Some a, Some b when b > 0 -> Some (float_of_int a /. float_of_int b)
+    | _ -> None
+  in
+  { label; ours; wc; ratio }
+
+let fig6a () =
+  List.map (fun (name, ucs) -> compare_methods ~label:name ucs) (Soc_designs.all_designs ())
+
+let default_counts = [ 2; 5; 10; 15; 20 ]
+
+let fig6b ?(counts = default_counts) () =
+  List.map
+    (fun u ->
+      let ucs = Synthetic.generate ~seed:200 ~params:Synthetic.spread_params ~use_cases:u in
+      compare_methods ~label:(Printf.sprintf "Sp-%d" u) ucs)
+    counts
+
+(* Bot use-cases share the hotspot structure, so their patterns are
+   more alike across use-cases than Sp's (paper §6.2 attributes WC's
+   worse Sp results to exactly this difference in variation). *)
+let bot_benchmark ~seed ~use_cases =
+  Synthetic.generate_family ~seed ~params:Synthetic.bottleneck_params ~use_cases ~similarity:0.4
+
+let fig6c ?(counts = default_counts) () =
+  List.map
+    (fun u ->
+      let ucs = bot_benchmark ~seed:300 ~use_cases:u in
+      compare_methods ~label:(Printf.sprintf "Bot-%d" u) ucs)
+    counts
+
+let forty_use_cases () =
+  [
+    compare_methods ~label:"Sp-40"
+      (Synthetic.generate ~seed:200 ~params:Synthetic.spread_params ~use_cases:40);
+    compare_methods ~label:"Bot-40" (bot_benchmark ~seed:300 ~use_cases:40);
+  ]
+
+let fig7a ?frequencies () =
+  let use_cases = Soc_designs.d1 () in
+  let groups = List.mapi (fun i _ -> [ i ]) use_cases in
+  Noc_power.Pareto.sweep ?frequencies ~config:Config.default ~groups use_cases
+
+type fig7b_row = {
+  design : string;
+  f_design : float;
+  use_case_freqs : float list;
+  savings_pct : float option;
+}
+
+let fig7b_for ~design_name use_cases =
+  match DF.run (DF.spec_of_use_cases ~name:design_name use_cases) with
+  | Error _ -> { design = design_name; f_design = 0.0; use_case_freqs = []; savings_pct = None }
+  | Ok d ->
+    let m = d.DF.mapping in
+    let freqs =
+      List.map
+        (fun u ->
+          match Noc_power.Min_freq.for_use_case_on_design ~design:m u with
+          | Some f -> f
+          | None -> m.Mapping.config.Config.freq_mhz)
+        d.DF.all_use_cases
+    in
+    (* The busiest use-case pins the frequency the design must sustain;
+       DVS scales the others down during their epochs. *)
+    let f_design = List.fold_left Float.max 0.0 freqs in
+    let epochs = List.map (fun f -> (f, 1.0)) freqs in
+    let savings =
+      if f_design > 0.0 then Some (Noc_power.Dvfs.savings_percent ~f_design ~epochs) else None
+    in
+    { design = design_name; f_design; use_case_freqs = freqs; savings_pct = savings }
+
+let fig7b () =
+  List.map (fun (name, ucs) -> fig7b_for ~design_name:name ucs) (Soc_designs.all_designs ())
+
+type fig7c_row = {
+  parallel : int;
+  freq_mhz : float option;
+}
+
+let fig7c ?(max_parallel = 4) () =
+  let n_base = 10 in
+  let use_cases =
+    Synthetic.generate ~seed:777 ~params:Synthetic.spread_params ~use_cases:n_base
+  in
+  (* Disjoint chunks of k use-cases running in parallel. *)
+  let sets k =
+    let rec chunks from acc =
+      if from + k > n_base then List.rev acc
+      else chunks (from + k) (List.init k (fun j -> from + j) :: acc)
+    in
+    if k = 1 then [] else chunks 0 []
+  in
+  let with_compounds k =
+    Noc_core.Compound.generate use_cases ~parallel:(sets k) |> fst
+  in
+  (* Size the mesh once, for the most demanding parallelism, then ask
+     what clock each parallelism level needs on that same NoC — the
+     trade-off plot the paper gives the designer. *)
+  let all_max = with_compounds max_parallel in
+  let groups_of ucs = List.mapi (fun i _ -> [ i ]) ucs in
+  match Mapping.map_design ~config:Config.default ~groups:(groups_of all_max) all_max with
+  | Error _ -> List.init max_parallel (fun i -> { parallel = i + 1; freq_mhz = None })
+  | Ok sized ->
+    let mesh = sized.Mapping.mesh in
+    List.init max_parallel (fun i ->
+        let k = i + 1 in
+        let all = with_compounds k in
+        let freq =
+          Noc_power.Min_freq.for_use_cases_on_mesh ~config:Config.default ~mesh
+            ~groups:(groups_of all) all
+        in
+        { parallel = k; freq_mhz = freq })
+
+type stats_row = {
+  family : string;
+  seeds : int;
+  mean_ratio : float;
+  stddev_ratio : float;
+  wc_failures : int;
+}
+
+let fig6_statistics ?(seeds = [ 11; 22; 33; 44; 55 ]) ?(use_cases = 10) () =
+  let run family gen =
+    let ratios = ref [] in
+    let failures = ref 0 in
+    List.iter
+      (fun seed ->
+        let ucs = gen ~seed in
+        let row = compare_methods ~label:family ucs in
+        match row.ratio with
+        | Some r -> ratios := r :: !ratios
+        | None -> incr failures)
+      seeds;
+    {
+      family;
+      seeds = List.length seeds;
+      mean_ratio = Noc_util.Numeric.mean !ratios;
+      stddev_ratio = Noc_util.Numeric.stddev !ratios;
+      wc_failures = !failures;
+    }
+  in
+  [
+    run "Sp" (fun ~seed -> Synthetic.generate ~seed ~params:Synthetic.spread_params ~use_cases);
+    run "Bot" (fun ~seed ->
+        Synthetic.generate_family ~seed ~params:Synthetic.bottleneck_params ~use_cases
+          ~similarity:0.4);
+  ]
+
+type scalability_row = {
+  n_use_cases : int;
+  ours_seconds : float;
+  ours_switches : int option;
+}
+
+let scalability ?(counts = [ 5; 10; 20; 40; 80 ]) () =
+  List.map
+    (fun n ->
+      let ucs = Synthetic.generate ~seed:200 ~params:Synthetic.spread_params ~use_cases:n in
+      let result, seconds =
+        timed (fun () -> DF.run (DF.spec_of_use_cases ~name:"scale" ucs))
+      in
+      {
+        n_use_cases = n;
+        ours_seconds = seconds;
+        ours_switches = (match result with Ok d -> Some (DF.switch_count d) | Error _ -> None);
+      })
+    counts
+
+(* --- rendering ------------------------------------------------------- *)
+
+let string_of_switches = function Some n -> string_of_int n | None -> "infeasible"
+
+let string_of_mesh = function Some (w, h) -> Printf.sprintf "%dx%d" w h | None -> "-"
+
+let print_comparison ~title ~paper_note rows =
+  print_endline title;
+  print_endline paper_note;
+  let t =
+    Table.create ~header:[ "benchmark"; "ours (mesh)"; "WC (mesh)"; "ratio ours/WC"; "time (s)" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.label;
+          Printf.sprintf "%s (%s)" (string_of_switches r.ours.switches) (string_of_mesh r.ours.mesh);
+          Printf.sprintf "%s (%s)" (string_of_switches r.wc.switches) (string_of_mesh r.wc.mesh);
+          (match r.ratio with Some x -> Printf.sprintf "%.3f" x | None -> "-");
+          Printf.sprintf "%.2f" (r.ours.seconds +. r.wc.seconds);
+        ])
+    rows;
+  Table.print t;
+  print_newline ()
+
+let print_fig7a points =
+  print_endline "Fig 7(a): area-frequency trade-off for D1";
+  print_endline "paper shape: large area below ~350 MHz, very small above 1.5 GHz";
+  let t = Table.create ~header:[ "freq (MHz)"; "switches"; "area (mm2)" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          Printf.sprintf "%.0f" p.Noc_power.Pareto.freq_mhz;
+          string_of_switches p.Noc_power.Pareto.switches;
+          (match p.Noc_power.Pareto.area_mm2 with
+          | Some a -> Printf.sprintf "%.3f" a
+          | None -> "-");
+        ])
+    points;
+  Table.print t;
+  print_newline ()
+
+let print_fig7b rows =
+  print_endline "Fig 7(b): DVS/DFS power savings";
+  print_endline "paper: average 54 % across the SoC designs";
+  let t = Table.create ~header:[ "design"; "f_design (MHz)"; "savings (%)" ] in
+  let savings = ref [] in
+  List.iter
+    (fun r ->
+      (match r.savings_pct with Some s -> savings := s :: !savings | None -> ());
+      Table.add_row t
+        [
+          r.design;
+          Printf.sprintf "%.0f" r.f_design;
+          (match r.savings_pct with Some s -> Printf.sprintf "%.1f" s | None -> "-");
+        ])
+    rows;
+  Table.print t;
+  if !savings <> [] then
+    Printf.printf "average savings: %.1f %%\n" (Noc_util.Numeric.mean !savings);
+  print_newline ()
+
+let print_fig7c rows =
+  print_endline "Fig 7(c): NoC frequency vs number of parallel use-cases (20-core, 10-use-case Sp)";
+  print_endline "paper shape: frequency grows roughly linearly with the parallelism";
+  let t = Table.create ~header:[ "parallel use-cases"; "required freq (MHz)" ] in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          string_of_int r.parallel;
+          (match r.freq_mhz with Some f -> Printf.sprintf "%.0f" f | None -> "infeasible");
+        ])
+    rows;
+  Table.print t;
+  print_newline ()
+
+let print_fig6a () =
+  print_comparison ~title:"Fig 6(a): normalized switch count, SoC designs D1-D4"
+    ~paper_note:"paper shape: WC reasonable on D1/D2, far larger on D3/D4"
+    (fig6a ())
+
+let print_fig6b () =
+  print_comparison ~title:"Fig 6(b): Sp benchmarks, 2-20 use-cases"
+    ~paper_note:"paper shape: ratio <= 0.25 and falling with the use-case count"
+    (fig6b ())
+
+let print_fig6c () =
+  print_comparison ~title:"Fig 6(c): Bot benchmarks, 2-20 use-cases"
+    ~paper_note:"paper shape: ratio falls with the use-case count; Sp lower than Bot"
+    (fig6c ())
+
+let print_s62 () =
+  print_comparison ~title:"Sec 6.2: 40 use-cases"
+    ~paper_note:"paper: ours maps onto 2x2; WC fails even on a 20x20 mesh"
+    (forty_use_cases ())
+
+let print_one = function
+  | "fig6a" -> Ok (print_fig6a ())
+  | "fig6b" -> Ok (print_fig6b ())
+  | "fig6c" -> Ok (print_fig6c ())
+  | "s62" -> Ok (print_s62 ())
+  | "fig7a" -> Ok (print_fig7a (fig7a ()))
+  | "fig7b" -> Ok (print_fig7b (fig7b ()))
+  | "fig7c" -> Ok (print_fig7c (fig7c ()))
+  | other -> Error (Printf.sprintf "unknown experiment '%s'" other)
+
+let print_statistics rows =
+  print_endline "Seed robustness: ours/WC ratio at 10 use-cases over 5 seeds";
+  let t = Table.create ~header:[ "family"; "seeds"; "mean ratio"; "stddev"; "WC failures" ] in
+  List.iter
+    (fun (r : stats_row) ->
+      Table.add_row t
+        [
+          r.family;
+          string_of_int r.seeds;
+          Printf.sprintf "%.3f" r.mean_ratio;
+          Printf.sprintf "%.3f" r.stddev_ratio;
+          string_of_int r.wc_failures;
+        ])
+    rows;
+  Table.print t;
+  print_newline ()
+
+let print_scalability rows =
+  print_endline "Scalability: design-flow runtime vs use-case count (Sp family)";
+  print_endline "paper: \"less than few minutes\" and \"scalable to a large number of use-cases\"";
+  let t = Table.create ~header:[ "use-cases"; "switches"; "runtime (s)" ] in
+  List.iter
+    (fun (r : scalability_row) ->
+      Table.add_row t
+        [
+          string_of_int r.n_use_cases;
+          (match r.ours_switches with Some s -> string_of_int s | None -> "infeasible");
+          Printf.sprintf "%.2f" r.ours_seconds;
+        ])
+    rows;
+  Table.print t;
+  print_newline ()
+
+let print_all () =
+  print_fig6a ();
+  print_fig6b ();
+  print_fig6c ();
+  print_s62 ();
+  print_fig7a (fig7a ());
+  print_fig7b (fig7b ());
+  print_fig7c (fig7c ());
+  print_statistics (fig6_statistics ());
+  print_scalability (scalability ())

@@ -1,0 +1,94 @@
+(** Regeneration of every figure in the paper's evaluation (§6).
+
+    Each [figN] function recomputes the corresponding figure's data
+    series with this repository's implementation; [print_all] renders
+    them as tables next to the paper's reported values.  All inputs are
+    deterministic (fixed seeds), so the numbers are reproducible. *)
+
+type method_result = {
+  switches : int option;    (** NoC size; [None] = no feasible mapping *)
+  mesh : (int * int) option;
+  seconds : float;          (** wall-clock of the design run *)
+}
+
+type comparison_row = {
+  label : string;
+  ours : method_result;     (** the multi-use-case method (this paper) *)
+  wc : method_result;       (** the worst-case baseline [25] *)
+  ratio : float option;     (** ours/wc switch count, the Fig 6 metric *)
+}
+
+val fig6a : unit -> comparison_row list
+(** Fig 6(a): normalized switch count on the SoC designs D1-D4. *)
+
+val fig6b : ?counts:int list -> unit -> comparison_row list
+(** Fig 6(b): Sp benchmarks, default use-case counts 2,5,10,15,20. *)
+
+val fig6c : ?counts:int list -> unit -> comparison_row list
+(** Fig 6(c): Bot benchmarks, same counts. *)
+
+val forty_use_cases : unit -> comparison_row list
+(** §6.2 text: Sp and Bot at 40 use-cases — our method still maps onto
+    a 2x2 mesh while WC must fail even at the 20x20 growth cap. *)
+
+val fig7a : ?frequencies:float list -> unit -> Noc_power.Pareto.point list
+(** Fig 7(a): area-frequency trade-off for D1. *)
+
+type fig7b_row = {
+  design : string;
+  f_design : float;               (** frequency the NoC must sustain *)
+  use_case_freqs : float list;    (** per-use-case minimum frequency *)
+  savings_pct : float option;     (** DVS/DFS power saving *)
+}
+
+val fig7b : unit -> fig7b_row list
+(** Fig 7(b): DVS/DFS power savings on D1-D4 (paper average: 54 %).
+    The NoC is designed at 500 MHz; the design frequency is then the
+    largest per-use-case minimum (the busiest use-case pins it) and
+    every other use-case epoch scales down. *)
+
+type fig7c_row = {
+  parallel : int;                 (** use-cases running in parallel *)
+  freq_mhz : float option;        (** minimum NoC frequency; None = infeasible *)
+}
+
+val fig7c : ?max_parallel:int -> unit -> fig7c_row list
+(** Fig 7(c): required NoC frequency when 1..4 use-cases of a 20-core,
+    10-use-case Sp benchmark run in parallel (compound modes on the
+    mesh designed for the sequential case). *)
+
+type stats_row = {
+  family : string;          (** "Sp" or "Bot" *)
+  seeds : int;
+  mean_ratio : float;       (** mean ours/WC switch ratio over the seeds *)
+  stddev_ratio : float;
+  wc_failures : int;        (** seeds where the WC method found no mapping *)
+}
+
+val fig6_statistics :
+  ?seeds:int list -> ?use_cases:int -> unit -> stats_row list
+(** Robustness of the Fig 6 result across generator seeds (default: 5
+    seeds at 10 use-cases): the ratio's mean and spread, and how often
+    the WC baseline fails outright.  Not a paper figure — it documents
+    that the reproduction does not hinge on one lucky seed. *)
+
+type scalability_row = {
+  n_use_cases : int;
+  ours_seconds : float;
+  ours_switches : int option;
+}
+
+val scalability : ?counts:int list -> unit -> scalability_row list
+(** Runtime of the multi-use-case method as the use-case count grows
+    (default 5/10/20/40/80 on the Sp generator) — the paper's claim
+    that "the methodology is efficient and scalable to a large number
+    of use-cases", quantified. *)
+
+val print_all : unit -> unit
+(** Render every experiment as a table with the paper's expected shape
+    noted, in paper order.  This is what [bench/main.exe] and
+    [bin/nocmap.exe experiments] call. *)
+
+val print_one : string -> (unit, string) result
+(** Render a single experiment by id: "fig6a", "fig6b", "fig6c",
+    "s62", "fig7a", "fig7b" or "fig7c". *)

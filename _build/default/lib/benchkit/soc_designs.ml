@@ -1,0 +1,136 @@
+module Flow = Noc_traffic.Flow
+module Use_case = Noc_traffic.Use_case
+
+(* Figure 2 cores: 0 input, 1 filter1, 2 filter2, 3 filter3, 4 mem1,
+   5 mem2, 6 output.  The published fragment gives the bandwidth
+   values; the exact wiring is reconstructed as a filter pipeline
+   through the two memories. *)
+let viper_fragment_1 =
+  Use_case.create ~id:0 ~name:"viper-uc1" ~cores:7
+    [
+      Flow.v ~src:0 ~dst:1 100.0;
+      Flow.v ~src:1 ~dst:4 150.0;
+      Flow.v ~src:4 ~dst:2 50.0;
+      Flow.v ~src:2 ~dst:5 200.0;
+      Flow.v ~src:5 ~dst:3 50.0;
+      Flow.v ~src:3 ~dst:6 100.0;
+      Flow.v ~src:1 ~dst:3 50.0;
+    ]
+
+let viper_fragment_2 =
+  Use_case.create ~id:1 ~name:"viper-uc2" ~cores:7
+    [
+      Flow.v ~src:0 ~dst:1 50.0;
+      Flow.v ~src:1 ~dst:4 150.0;
+      Flow.v ~src:4 ~dst:2 50.0;
+      Flow.v ~src:2 ~dst:5 200.0;
+      Flow.v ~src:5 ~dst:3 50.0;
+      Flow.v ~src:3 ~dst:6 100.0;
+      Flow.v ~src:0 ~dst:5 50.0;
+      Flow.v ~src:2 ~dst:3 50.0;
+    ]
+
+(* Figure 5 / Example 1: cores 0..3 are C1..C4. *)
+let example1_use_cases =
+  [
+    Use_case.create ~id:0 ~name:"example1-uc1" ~cores:4
+      [ Flow.v ~src:2 ~dst:3 100.0; Flow.v ~src:0 ~dst:1 10.0; Flow.v ~src:1 ~dst:2 75.0 ];
+    Use_case.create ~id:1 ~name:"example1-uc2" ~cores:4
+      [ Flow.v ~src:2 ~dst:3 42.0; Flow.v ~src:0 ~dst:1 11.0; Flow.v ~src:0 ~dst:2 52.0 ];
+  ]
+
+(* Deterministic seeds; the designs differ in pattern and scale only.
+   The set-top box moves whole video frames through one external
+   memory, so its HD cluster is heavier than the streaming TV
+   processor's. *)
+let set_top_box_clusters =
+  [
+    { Synthetic.label = "hd-video"; weight = 0.15; bw_lo = 200.0; bw_hi = 400.0; latency_lo_ns = None; latency_hi_ns = None };
+    { Synthetic.label = "sd-video"; weight = 0.25; bw_lo = 40.0; bw_hi = 90.0; latency_lo_ns = None; latency_hi_ns = None };
+    { Synthetic.label = "audio"; weight = 0.35; bw_lo = 4.0; bw_hi = 10.0; latency_lo_ns = None; latency_hi_ns = None };
+    { Synthetic.label = "control"; weight = 0.25; bw_lo = 0.5; bw_hi = 2.0; latency_lo_ns = Some 400.0; latency_hi_ns = Some 900.0 };
+  ]
+
+let set_top_box_params =
+  {
+    Synthetic.cores = 18;
+    flows_lo = 50;
+    flows_hi = 90;
+    clusters = set_top_box_clusters;
+    pattern = Synthetic.Bottleneck { hotspots = 1; fraction = 0.6 };
+    activity_lo = 0.35;
+    activity_hi = 1.0;
+  }
+
+let tv_processor_params =
+  {
+    Synthetic.cores = 24;
+    flows_lo = 60;
+    flows_hi = 100;
+    clusters = Synthetic.default_clusters;
+    pattern = Synthetic.Spread;
+    activity_lo = 0.35;
+    activity_hi = 1.0;
+  }
+
+(* D1/D2 are one set-top-box family (D2 = D1 "scaled to support more
+   use-cases", so patterns stay similar); likewise D3/D4 for the TV
+   processor, whose streaming use-cases differ more. *)
+let d1 () = Synthetic.generate_family ~seed:101 ~params:set_top_box_params ~use_cases:4 ~similarity:0.75
+let d2 () = Synthetic.generate_family ~seed:101 ~params:set_top_box_params ~use_cases:20 ~similarity:0.75
+let d3 () = Synthetic.generate_family ~seed:103 ~params:tv_processor_params ~use_cases:8 ~similarity:0.3
+let d4 () = Synthetic.generate_family ~seed:103 ~params:tv_processor_params ~use_cases:20 ~similarity:0.3
+
+let all_designs () = [ ("D1", d1 ()); ("D2", d2 ()); ("D3", d3 ()); ("D4", d4 ()) ]
+
+(* Cores: 0 memory, 1 apps cpu, 2 modem, 3 camera ISP, 4 display,
+   5 audio, 6 crypto, 7 storage. *)
+let mobile_phone () =
+  let mem = 0 and cpu = 1 and modem = 2 and isp = 3 and disp = 4 and audio = 5 and crypto = 6 and disk = 7 in
+  let uc id name flows = Use_case.create ~id ~name ~cores:8 flows in
+  [
+    uc 0 "voice-call"
+      [
+        Flow.v ~src:modem ~dst:audio ~latency_ns:600.0 2.0;
+        Flow.v ~src:audio ~dst:modem ~latency_ns:600.0 2.0;
+        Flow.v ~src:cpu ~dst:mem ~latency_ns:500.0 4.0;
+        Flow.v ~src:modem ~dst:crypto 8.0;
+        Flow.v ~src:crypto ~dst:modem 8.0;
+      ];
+    uc 1 "browsing"
+      [
+        Flow.v ~src:modem ~dst:mem 30.0;
+        Flow.v ~src:mem ~dst:cpu 120.0;
+        Flow.v ~src:cpu ~dst:mem 80.0;
+        Flow.v ~src:mem ~dst:disp 140.0;
+        Flow.v ~src:cpu ~dst:mem ~latency_ns:500.0 4.0;
+      ];
+    uc 2 "camera"
+      [
+        Flow.v ~src:isp ~dst:mem 320.0;
+        Flow.v ~src:mem ~dst:disp 180.0;
+        Flow.v ~src:mem ~dst:disk 90.0;
+        Flow.v ~src:cpu ~dst:mem ~latency_ns:500.0 4.0;
+      ];
+    uc 3 "music"
+      [
+        Flow.v ~src:disk ~dst:mem ~service:Flow.Best_effort 12.0;
+        Flow.v ~src:mem ~dst:audio ~latency_ns:900.0 3.0;
+        Flow.v ~src:cpu ~dst:mem ~latency_ns:900.0 1.0;
+      ];
+    uc 4 "standby"
+      [
+        Flow.v ~src:modem ~dst:cpu ~latency_ns:900.0 0.5;
+        Flow.v ~src:cpu ~dst:mem ~latency_ns:900.0 0.5;
+      ];
+  ]
+
+let fig4_spec () =
+  let params = { Synthetic.spread_params with flows_lo = 10; flows_hi = 20 } in
+  let base = Synthetic.generate ~seed:4 ~params ~use_cases:8 in
+  {
+    Noc_core.Design_flow.name = "fig4";
+    use_cases = base;
+    parallel = [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+    smooth = [ (5, 6) ];
+  }

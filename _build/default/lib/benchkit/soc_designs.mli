@@ -1,0 +1,49 @@
+(** Models of the paper's four SoC benchmarks and its worked examples.
+
+    The real Viper2/TV-processor traffic tables are proprietary; these
+    are parameterised synthetic stand-ins following the published
+    structure (see DESIGN.md, "Substitutions"): D1/D2 are set-top boxes
+    whose traffic converges on an external memory (bottleneck), D3/D4
+    are streaming TV processors with distributed local memories
+    (spread).  All are deterministic. *)
+
+val viper_fragment_1 : Noc_traffic.Use_case.t
+(** Figure 2(a): a 7-core filter pipeline fragment of the Viper2
+    set-top box (bandwidths as published; topology reconstructed). *)
+
+val viper_fragment_2 : Noc_traffic.Use_case.t
+(** Figure 2(b): the second use-case of the same fragment. *)
+
+val example1_use_cases : Noc_traffic.Use_case.t list
+(** Figure 5 / Example 1: two 4-core use-cases whose largest flow is
+    C3->C4 at 100 MB/s. *)
+
+val d1 : unit -> Noc_traffic.Use_case.t list
+(** Set-top box SoC with 4 use-cases (paper's D1, after [11]):
+    18 cores, external-memory bottleneck. *)
+
+val d2 : unit -> Noc_traffic.Use_case.t list
+(** Set-top box SoC scaled to 20 use-cases (paper's D2). *)
+
+val d3 : unit -> Noc_traffic.Use_case.t list
+(** TV-processor SoC with 8 use-cases (paper's D3): 24 cores,
+    streaming/spread traffic. *)
+
+val d4 : unit -> Noc_traffic.Use_case.t list
+(** TV-processor SoC scaled to 20 use-cases (paper's D4). *)
+
+val all_designs : unit -> (string * Noc_traffic.Use_case.t list) list
+(** [("D1", d1); ...] in paper order. *)
+
+val mobile_phone : unit -> Noc_traffic.Use_case.t list
+(** A smaller hand-written SoC outside the paper's benchmark set, used
+    by the documentation and as an extra integration fixture: 8 cores
+    (modem, apps CPU, memory, camera ISP, display, audio, crypto,
+    storage) with five use-cases — call, browsing, camera, music
+    (background-heavy, best-effort bulk), standby. *)
+
+val fig4_spec : unit -> Noc_core.Design_flow.spec
+(** A design-flow spec reproducing the switching-graph structure of
+    Figure 4: eight base use-cases U1..U8 (here ids 0..7), parallel
+    sets {U1,U2,U3} and {U4,U5}, and smooth switching between U6 and
+    U7.  Algorithm 1 must find the four groups shown in the figure. *)

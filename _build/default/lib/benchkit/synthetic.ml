@@ -1,0 +1,185 @@
+module Rng = Noc_util.Rng
+module Flow = Noc_traffic.Flow
+module Use_case = Noc_traffic.Use_case
+
+type cluster = {
+  label : string;
+  weight : float;
+  bw_lo : Noc_util.Units.bandwidth;
+  bw_hi : Noc_util.Units.bandwidth;
+  latency_lo_ns : Noc_util.Units.latency option;
+  latency_hi_ns : Noc_util.Units.latency option;
+}
+
+type pattern =
+  | Spread
+  | Bottleneck of {
+      hotspots : int;
+      fraction : float;
+    }
+
+type params = {
+  cores : int;
+  flows_lo : int;
+  flows_hi : int;
+  clusters : cluster list;
+  pattern : pattern;
+  activity_lo : float;
+  activity_hi : float;
+}
+
+let default_clusters =
+  [
+    { label = "hd-video"; weight = 0.08; bw_lo = 150.0; bw_hi = 300.0; latency_lo_ns = None; latency_hi_ns = None };
+    { label = "sd-video"; weight = 0.22; bw_lo = 30.0; bw_hi = 70.0; latency_lo_ns = None; latency_hi_ns = None };
+    { label = "audio"; weight = 0.40; bw_lo = 2.0; bw_hi = 8.0; latency_lo_ns = None; latency_hi_ns = None };
+    { label = "control"; weight = 0.30; bw_lo = 0.5; bw_hi = 2.0; latency_lo_ns = Some 400.0; latency_hi_ns = Some 900.0 };
+  ]
+
+let spread_params =
+  {
+    cores = 20;
+    flows_lo = 60;
+    flows_hi = 100;
+    clusters = default_clusters;
+    pattern = Spread;
+    activity_lo = 0.35;
+    activity_hi = 1.0;
+  }
+
+let bottleneck_params =
+  {
+    cores = 20;
+    flows_lo = 60;
+    flows_hi = 100;
+    clusters = default_clusters;
+    pattern = Bottleneck { hotspots = 1; fraction = 0.6 };
+    activity_lo = 0.35;
+    activity_hi = 1.0;
+  }
+
+let pick_cluster rng clusters =
+  let total = List.fold_left (fun acc c -> acc +. c.weight) 0.0 clusters in
+  let x = Rng.float rng total in
+  let rec go acc = function
+    | [] -> invalid_arg "Synthetic: no clusters"
+    | [ c ] -> c
+    | c :: rest -> if x < acc +. c.weight then c else go (acc +. c.weight) rest
+  in
+  go 0.0 clusters
+
+let draw_flow rng params used =
+  let cores = params.cores in
+  (* Draw an unused ordered pair following the pattern. *)
+  let rec pair tries =
+    if tries > 500 then None
+    else begin
+      let s, d =
+        match params.pattern with
+        | Spread ->
+          let s = Rng.int rng cores in
+          let d = (s + 1 + Rng.int rng (cores - 1)) mod cores in
+          (s, d)
+        | Bottleneck { hotspots; fraction } ->
+          if Rng.chance rng fraction then begin
+            let hot = Rng.int rng (min hotspots cores) in
+            let other = hotspots + Rng.int rng (max 1 (cores - hotspots)) in
+            let other = min other (cores - 1) in
+            (* Shared memory sees both reads (hot as source) and
+               writes (hot as destination). *)
+            if Rng.chance rng 0.5 then (other, hot) else (hot, other)
+          end
+          else begin
+            let s = Rng.int rng cores in
+            let d = (s + 1 + Rng.int rng (cores - 1)) mod cores in
+            (s, d)
+          end
+      in
+      if s = d || Hashtbl.mem used (s, d) then pair (tries + 1) else Some (s, d)
+    end
+  in
+  match pair 0 with
+  | None -> None
+  | Some (s, d) ->
+    Hashtbl.add used (s, d) ();
+    let c = pick_cluster rng params.clusters in
+    let bw = Rng.float_in rng c.bw_lo c.bw_hi in
+    let latency_ns =
+      match (c.latency_lo_ns, c.latency_hi_ns) with
+      | Some lo, Some hi -> Some (Rng.float_in rng lo hi)
+      | Some lo, None -> Some lo
+      | None, Some hi -> Some hi
+      | None, None -> None
+    in
+    Some (Flow.v ?latency_ns ~src:s ~dst:d bw)
+
+let scale_flow factor f =
+  Flow.v ~latency_ns:f.Flow.latency_ns ~service:f.Flow.service ~src:f.Flow.src ~dst:f.Flow.dst
+    (f.Flow.bandwidth *. factor)
+
+let draw_activity rng params =
+  if params.activity_lo > params.activity_hi || params.activity_lo <= 0.0 then
+    invalid_arg "Synthetic: bad activity range";
+  Rng.float_in rng params.activity_lo params.activity_hi
+
+let generate_one ~rng ~params ~id ~name =
+  if params.cores < 2 then invalid_arg "Synthetic: need at least two cores";
+  if params.flows_lo > params.flows_hi || params.flows_lo < 1 then
+    invalid_arg "Synthetic: bad flow count range";
+  let n = Rng.int_in rng params.flows_lo params.flows_hi in
+  let activity = draw_activity rng params in
+  let used = Hashtbl.create (2 * n) in
+  let rec draw k acc =
+    if k = 0 then acc
+    else
+      match draw_flow rng params used with
+      | Some f -> draw (k - 1) (scale_flow activity f :: acc)
+      | None -> acc (* pair space exhausted: accept a denser use-case *)
+  in
+  Use_case.create ~id ~name ~cores:params.cores (draw n [])
+
+let generate ~seed ~params ~use_cases =
+  if use_cases < 1 then invalid_arg "Synthetic.generate: need at least one use-case";
+  let rng = Rng.create ~seed in
+  List.init use_cases (fun i ->
+      generate_one ~rng ~params ~id:i ~name:(Printf.sprintf "u%d" i))
+
+let generate_family ~seed ~params ~use_cases ~similarity =
+  if use_cases < 1 then invalid_arg "Synthetic.generate_family: need at least one use-case";
+  if similarity < 0.0 || similarity > 1.0 then
+    invalid_arg "Synthetic.generate_family: similarity must be in [0,1]";
+  let rng = Rng.create ~seed in
+  (* The shared base pattern is drawn at unit activity; every family
+     member (including the first) then applies its own activity. *)
+  let raw_params = { params with activity_lo = 1.0; activity_hi = 1.0 } in
+  let base = generate_one ~rng ~params:raw_params ~id:0 ~name:"u0" in
+  let member i =
+    let activity = draw_activity rng params in
+    let flows =
+      if i = 0 then base.Use_case.flows
+      else begin
+        let kept =
+          List.filter_map
+            (fun f ->
+              if Rng.chance rng similarity then
+                Some (scale_flow (Rng.float_in rng 0.75 1.25) f)
+              else None)
+            base.Use_case.flows
+        in
+        let used = Hashtbl.create 64 in
+        List.iter (fun f -> Hashtbl.add used (Flow.pair f) ()) kept;
+        let target = Rng.int_in rng params.flows_lo params.flows_hi in
+        let rec fresh k acc =
+          if k <= 0 then acc
+          else
+            match draw_flow rng raw_params used with
+            | Some f -> fresh (k - 1) (f :: acc)
+            | None -> acc
+        in
+        fresh (target - List.length kept) kept
+      end
+    in
+    Use_case.create ~id:i ~name:(Printf.sprintf "u%d" i) ~cores:params.cores
+      (List.map (scale_flow activity) flows)
+  in
+  List.init use_cases member

@@ -1,0 +1,75 @@
+(** Synthetic multi-use-case benchmark generation (paper §6.1).
+
+    Two families: *Spread* (Sp) benchmarks, where each core talks to a
+    few other cores — the TV-processor style with distributed local
+    memories — and *Bottleneck* (Bot) benchmarks, where most traffic
+    converges on one or a few shared-memory cores — the set-top-box
+    style.  Traffic parameters fall into a small number of clusters
+    (HD video, SD video, audio, latency-critical control) with small
+    deviations inside each cluster, exactly as the paper describes. *)
+
+type cluster = {
+  label : string;
+  weight : float;  (** relative probability of drawing this cluster *)
+  bw_lo : Noc_util.Units.bandwidth;
+  bw_hi : Noc_util.Units.bandwidth;
+  latency_lo_ns : Noc_util.Units.latency option;
+  latency_hi_ns : Noc_util.Units.latency option;
+      (** [None] = no latency constraint for this cluster *)
+}
+
+type pattern =
+  | Spread
+      (** each core communicates with a few partners, load spread evenly *)
+  | Bottleneck of {
+      hotspots : int;   (** number of shared-memory cores (ids 0..) *)
+      fraction : float; (** fraction of flows touching a hotspot *)
+    }
+
+type params = {
+  cores : int;
+  flows_lo : int;  (** fewest communicating pairs per use-case *)
+  flows_hi : int;
+  clusters : cluster list;
+  pattern : pattern;
+  activity_lo : float;
+  activity_hi : float;
+      (** every use-case draws an activity level in this range that
+          scales all its bandwidths: SoCs mix heavy use-cases (HD
+          record) with light ones (standby), which is what makes
+          per-use-case DVS/DFS profitable (paper §6.4) *)
+}
+
+val default_clusters : cluster list
+(** HD video (150-300 MB/s, 8 %), SD video (30-70 MB/s, 22 %), audio
+    (2-8 MB/s, 40 %), control (0.5-2 MB/s, latency 400-900 ns, 30 %). *)
+
+val spread_params : params
+(** The paper's Sp point: 20 cores, 60-100 connections per use-case. *)
+
+val bottleneck_params : params
+(** The paper's Bot point: 20 cores, 60-100 connections, one
+    shared-memory hotspot taking 60 % of the flows. *)
+
+val generate : seed:int -> params:params -> use_cases:int -> Noc_traffic.Use_case.t list
+(** Deterministic benchmark: equal seeds give equal use-case lists.
+    Each use-case draws its own communication pattern, so patterns
+    differ across use-cases (the property that defeats the worst-case
+    method). *)
+
+val generate_one :
+  rng:Noc_util.Rng.t -> params:params -> id:int -> name:string -> Noc_traffic.Use_case.t
+(** One use-case drawn from the given generator state. *)
+
+val generate_family :
+  seed:int ->
+  params:params ->
+  use_cases:int ->
+  similarity:float ->
+  Noc_traffic.Use_case.t list
+(** Like {!generate}, but use-cases are variations of one base pattern:
+    each keeps a base flow with probability [similarity] (bandwidth
+    jittered +-25 %) and fills the rest of its flow budget with fresh
+    pattern draws.  [similarity] close to 1 models SoC families whose
+    use-cases share most traffic (the paper's D2/D4 are "scaled
+    versions of the designs D1 and D3"); 0 reduces to {!generate}. *)

@@ -1,0 +1,1 @@
+lib/core/compound.ml: Hashtbl List Noc_traffic Printf String

@@ -1,0 +1,1 @@
+lib/core/design_flow.ml: Compound Format List Mapping Noc_arch Noc_traffic Reconfig Refine Switching Verify

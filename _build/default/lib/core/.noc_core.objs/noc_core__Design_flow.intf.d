@@ -1,0 +1,1 @@
+lib/core/design_flow.mli: Compound Format Mapping Noc_arch Noc_traffic Reconfig Refine Verify

@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array Float Format List Noc_arch Noc_graph Noc_traffic Path_select Printf Resources

@@ -1,0 +1,1 @@
+lib/core/path_select.ml: Float List Noc_arch Noc_graph Noc_traffic Printf Resources Result

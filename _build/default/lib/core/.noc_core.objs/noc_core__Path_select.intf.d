@@ -1,0 +1,1 @@
+lib/core/path_select.mli: Noc_arch Noc_traffic Noc_util Resources

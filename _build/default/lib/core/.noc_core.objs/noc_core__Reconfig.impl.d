@@ -1,0 +1,1 @@
+lib/core/reconfig.ml: Array Format Hashtbl List Mapping Noc_arch Noc_util

@@ -1,0 +1,1 @@
+lib/core/reconfig.mli: Format Mapping Noc_util

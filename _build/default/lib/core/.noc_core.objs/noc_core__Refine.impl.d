@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Float Hashtbl List Mapping Noc_arch Noc_util

@@ -1,0 +1,1 @@
+lib/core/resources.ml: Array Float Format List Noc_arch Printf

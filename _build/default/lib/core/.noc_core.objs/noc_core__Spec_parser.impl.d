@@ -1,0 +1,1 @@
+lib/core/spec_parser.ml: Buffer Design_flow Filename Format Hashtbl In_channel List Noc_traffic Option Printf String

@@ -1,0 +1,1 @@
+lib/core/switching.ml: Array Compound Format List Noc_graph Noc_traffic String

@@ -1,0 +1,1 @@
+lib/core/switching.mli: Compound Format

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Format Hashtbl List Mapping Noc_arch Noc_traffic Option Printf Resources

@@ -1,0 +1,1 @@
+lib/core/worst_case.ml: Float Hashtbl List Mapping Noc_traffic

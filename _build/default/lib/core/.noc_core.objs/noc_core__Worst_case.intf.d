@@ -1,0 +1,1 @@
+lib/core/worst_case.mli: Mapping Noc_arch Noc_traffic

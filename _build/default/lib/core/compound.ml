@@ -1,0 +1,48 @@
+module Use_case = Noc_traffic.Use_case
+module Flow = Noc_traffic.Flow
+
+type t = {
+  use_case : Use_case.t;
+  members : int list;
+}
+
+let default_name members =
+  "U_" ^ String.concat "" (List.map (fun u -> string_of_int u.Use_case.id) members)
+
+let merge ~id ~name = function
+  | [] -> invalid_arg "Compound.merge: no members"
+  | first :: _ as members ->
+    let cores = first.Use_case.cores in
+    List.iter
+      (fun u ->
+        if u.Use_case.cores <> cores then
+          invalid_arg "Compound.merge: members disagree on core count")
+      members;
+    (* Use_case.create already merges duplicate ordered pairs with
+       sum-bandwidth / min-latency, which is exactly the compound rule. *)
+    Use_case.create ~id ~name ~cores (List.concat_map (fun u -> u.Use_case.flows) members)
+
+let generate base ~parallel =
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun u -> Hashtbl.replace by_id u.Use_case.id u) base;
+  let next = ref (List.fold_left (fun acc u -> max acc (u.Use_case.id + 1)) 0 base) in
+  let build set =
+    if List.length set < 2 then
+      invalid_arg "Compound.generate: a parallel set needs at least two members";
+    let sorted = List.sort_uniq compare set in
+    if List.length sorted <> List.length set then
+      invalid_arg "Compound.generate: duplicate member in parallel set";
+    let members =
+      List.map
+        (fun uid ->
+          match Hashtbl.find_opt by_id uid with
+          | Some u -> u
+          | None -> invalid_arg (Printf.sprintf "Compound.generate: unknown use-case %d" uid))
+        sorted
+    in
+    let id = !next in
+    incr next;
+    { use_case = merge ~id ~name:(default_name members) members; members = sorted }
+  in
+  let compounds = List.map build parallel in
+  (base @ List.map (fun c -> c.use_case) compounds, compounds)

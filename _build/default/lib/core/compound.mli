@@ -1,0 +1,33 @@
+(** Parallel-mode (compound) use-case generation — phase 1 of the
+    methodology (paper §4).
+
+    When use-cases can run in parallel, a new use-case representing the
+    compound mode is generated automatically: the bandwidth of a flow
+    between two cores is the *sum* of that pair's bandwidths across the
+    constituent use-cases, and its latency requirement is the
+    *minimum*. *)
+
+type t = {
+  use_case : Noc_traffic.Use_case.t;  (** the generated compound use-case *)
+  members : int list;                 (** ids of the constituent use-cases *)
+}
+
+val merge :
+  id:int -> name:string -> Noc_traffic.Use_case.t list -> Noc_traffic.Use_case.t
+(** Compound of the given use-cases (sum-bandwidth / min-latency per
+    ordered core pair).  @raise Invalid_argument on an empty list or
+    mismatched core counts. *)
+
+val generate :
+  Noc_traffic.Use_case.t list ->
+  parallel:int list list ->
+  Noc_traffic.Use_case.t list * t list
+(** [generate base ~parallel] builds one compound per parallel set
+    (each set lists ids of base use-cases; sets of fewer than two
+    members are rejected) and returns [base @ compounds] — compound ids
+    continue after the base ids — together with the compound records.
+    @raise Invalid_argument on unknown ids or duplicate members. *)
+
+val default_name : Noc_traffic.Use_case.t list -> string
+(** "U_123"-style name built from member ids, as in the paper's
+    Figure 4. *)

@@ -1,0 +1,58 @@
+module Use_case = Noc_traffic.Use_case
+module Mesh = Noc_arch.Mesh
+
+type spec = {
+  name : string;
+  use_cases : Use_case.t list;
+  parallel : int list list;
+  smooth : (int * int) list;
+}
+
+type t = {
+  spec : spec;
+  all_use_cases : Use_case.t list;
+  compounds : Compound.t list;
+  groups : int list list;
+  mapping : Mapping.t;
+  report : Verify.report;
+  refinement : Refine.outcome option;
+}
+
+let spec_of_use_cases ~name use_cases = { name; use_cases; parallel = []; smooth = [] }
+
+let run ?config ?(refine = false) spec =
+  match spec.use_cases with
+  | [] -> Error "design flow: no use-cases"
+  | _ -> (
+    (* Phase 1: parallel-mode generation. *)
+    let all, compounds = Compound.generate spec.use_cases ~parallel:spec.parallel in
+    (* Phase 2: switching graph + Algorithm 1 grouping. *)
+    let switching = Switching.create ~use_cases:(List.length all) ~smooth:spec.smooth in
+    List.iter (Switching.add_compound switching) compounds;
+    let groups = Switching.groups switching in
+    (* Phase 3: unified mapping and configuration. *)
+    match Mapping.map_design ?config ~groups all with
+    | Error failure -> Error (Format.asprintf "%s: %a" spec.name Mapping.pp_failure failure)
+    | Ok mapping ->
+      let refinement = if refine then Some (Refine.anneal mapping all) else None in
+      let mapping =
+        match refinement with Some o -> o.Refine.result | None -> mapping
+      in
+      (* Phase 4: analytic verification of the GT connections. *)
+      let report = Verify.verify mapping all in
+      Ok { spec; all_use_cases = all; compounds; groups; mapping; report; refinement })
+
+let switch_count t = Mapping.switch_count t.mapping
+
+let verified t = Verify.ok t.report
+
+let reconfiguration t = Reconfig.analyze t.mapping
+
+let pp_summary ppf t =
+  let m = t.mapping in
+  Format.fprintf ppf
+    "@[<v>design %s: %d base + %d compound use-cases, %d groups@ mapped onto %a@ %a@]"
+    t.spec.name
+    (List.length t.spec.use_cases)
+    (List.length t.compounds) (List.length t.groups) Mesh.pp m.Mapping.mesh Verify.pp_report
+    t.report

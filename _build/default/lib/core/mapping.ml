@@ -1,0 +1,371 @@
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Route = Noc_arch.Route
+module Flow = Noc_traffic.Flow
+module Use_case = Noc_traffic.Use_case
+
+type t = {
+  config : Config.t;
+  mesh : Mesh.t;
+  placement : int array;
+  routes : Route.t list;
+  states : Resources.t array;
+  groups : int list list;
+}
+
+type failure = { attempts : (int * int * string) list }
+
+exception Fail of string
+
+type item = {
+  uc : int;
+  flow : Flow.t;
+  mutable routed : bool;
+}
+
+let switch_count t = Mesh.switch_count t.mesh
+
+let switches_in_use t =
+  let used = Array.make (Mesh.switch_count t.mesh) false in
+  Array.iter (fun s -> if s >= 0 then used.(s) <- true) t.placement;
+  List.iter
+    (fun r ->
+      used.(r.Route.src_switch) <- true;
+      used.(r.Route.dst_switch) <- true;
+      List.iter
+        (fun l ->
+          let a, b = Mesh.link_endpoints t.mesh l in
+          used.(a) <- true;
+          used.(b) <- true)
+        r.Route.links)
+    t.routes;
+  Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 used
+
+let routes_of_use_case t uc = List.filter (fun r -> r.Route.use_case = uc) t.routes
+
+let total_weighted_hops t =
+  List.fold_left
+    (fun acc r -> acc +. (r.Route.bandwidth *. float_of_int (Route.hops r)))
+    0.0 t.routes
+
+let validate_inputs ~groups use_cases =
+  (match use_cases with
+  | [] -> invalid_arg "Mapping: no use-cases"
+  | first :: rest ->
+    let cores = first.Use_case.cores in
+    List.iter
+      (fun u ->
+        if u.Use_case.cores <> cores then invalid_arg "Mapping: use-cases disagree on core count")
+      rest);
+  List.iteri
+    (fun i u ->
+      if u.Use_case.id <> i then
+        invalid_arg
+          (Printf.sprintf "Mapping: use-case ids must be positional (found id %d at position %d)"
+             u.Use_case.id i))
+    use_cases;
+  let n = List.length use_cases in
+  let seen = Array.make n false in
+  List.iter
+    (List.iter (fun u ->
+         if u < 0 || u >= n then invalid_arg "Mapping: group member out of range";
+         if seen.(u) then invalid_arg "Mapping: use-case in two groups";
+         seen.(u) <- true))
+    groups;
+  Array.iteri (fun u s -> if not s then invalid_arg (Printf.sprintf "Mapping: use-case %d in no group" u)) seen
+
+(* Sorted worklist of every (use-case, flow): Algorithm 2 step 2. *)
+let build_items use_cases =
+  let items =
+    List.concat_map
+      (fun u -> List.map (fun f -> { uc = u.Use_case.id; flow = f; routed = false }) u.Use_case.flows)
+      use_cases
+  in
+  let cmp a b =
+    match Flow.compare_bandwidth_desc a.flow b.flow with
+    | 0 -> compare a.uc b.uc
+    | c -> c
+  in
+  Array.of_list (List.sort cmp items)
+
+(* Algorithm 2 step 3: highest-bandwidth unrouted flow, preferring
+   flows whose endpoints are already mapped (both > one > none). *)
+let pick_item items placement =
+  let best = ref None in
+  let best_rank = ref (-1) in
+  let n = Array.length items in
+  let i = ref 0 in
+  while !best_rank < 2 && !i < n do
+    let it = items.(!i) in
+    if not it.routed then begin
+      let mapped c = placement.(c) >= 0 in
+      let rank =
+        (if mapped it.flow.Flow.src then 1 else 0) + if mapped it.flow.Flow.dst then 1 else 0
+      in
+      if rank > !best_rank then begin
+        best_rank := rank;
+        best := Some it
+      end
+    end;
+    incr i
+  done;
+  !best
+
+type placement_mode = Free | Fixed
+
+type placement_bias = Compact | Spread
+
+let run ~config ~mesh ~groups ~mode ~bias ~initial_placement use_cases =
+  validate_inputs ~groups use_cases;
+  (match Config.validate config with Ok () -> () | Error m -> invalid_arg m);
+  let cores = (List.hd use_cases).Use_case.cores in
+  let n_uc = List.length use_cases in
+  let n_switch = Mesh.switch_count mesh in
+  let cap = config.Config.nis_per_switch in
+  if cores > n_switch * cap then
+    Error
+      (Printf.sprintf "mesh offers %d NIs but the SoC has %d cores" (n_switch * cap) cores)
+  else begin
+    let states = Array.init n_uc (fun u -> Resources.create ~config ~mesh ~use_case:u) in
+    let placement = Array.copy initial_placement in
+    let ni_used = Array.make n_switch 0 in
+    Array.iter
+      (fun s -> if s >= 0 then ni_used.(s) <- ni_used.(s) + 1)
+      placement;
+    let group_list = Array.of_list (List.map (fun g -> g) groups) in
+    let group_of = Array.make n_uc (-1) in
+    Array.iteri (fun gi g -> List.iter (fun u -> group_of.(u) <- gi) g) group_list;
+    let items = build_items use_cases in
+    (* Placement admission budgets: a switch may host cores whose
+       traffic (per use-case) stays within (a) a fraction of its
+       aggregate link bandwidth and (b) a multiple of the mesh-wide
+       average load.  (b) is what makes growing the mesh genuinely
+       relax contention: on larger meshes cores are forced apart. *)
+    let core_load =
+      Array.map
+        (fun u ->
+          let load = Array.make cores 0.0 in
+          List.iter
+            (fun f ->
+              load.(f.Flow.src) <- load.(f.Flow.src) +. f.Flow.bandwidth;
+              load.(f.Flow.dst) <- load.(f.Flow.dst) +. f.Flow.bandwidth)
+            u.Use_case.flows;
+          load)
+        (Array.of_list use_cases)
+    in
+    let switch_load = Array.make_matrix n_uc n_switch 0.0 in
+    let budget =
+      let capacity = Config.link_capacity config in
+      Array.init n_uc (fun u ->
+          let total = 2.0 *. Use_case.total_bandwidth (List.nth use_cases u) in
+          let spread = config.Config.placement_spread_factor *. total /. float_of_int n_switch in
+          fun s ->
+            let degree = float_of_int (Noc_graph.Intgraph.degree (Mesh.graph mesh) s) in
+            let hw = config.Config.placement_hw_factor *. 2.0 *. degree *. capacity in
+            Float.min hw spread)
+    in
+    Array.iteri
+      (fun core s ->
+        if s >= 0 then
+          for u = 0 to n_uc - 1 do
+            switch_load.(u).(s) <- switch_load.(u).(s) +. core_load.(u).(core)
+          done)
+      placement;
+    let admissible core s =
+      n_switch = 1
+      || ni_used.(s) = 0 (* a core may always sit alone on an empty switch *)
+      ||
+      let ok = ref true in
+      for u = 0 to n_uc - 1 do
+        if switch_load.(u).(s) +. core_load.(u).(core) > budget.(u) s then ok := false
+      done;
+      !ok
+    in
+    let commit_load core s =
+      for u = 0 to n_uc - 1 do
+        switch_load.(u).(s) <- switch_load.(u).(s) +. core_load.(u).(core)
+      done
+    in
+    let routes = ref [] in
+    let next_conn = ref 0 in
+    let fresh_conn () =
+      let c = !next_conn in
+      incr next_conn;
+      c
+    in
+    (* Place one core near its peer (or near the centre when it is the
+       very first).  The distance map approximates the path cost in the
+       use-case driving the decision; the mesh is direction-symmetric,
+       so using the peer as Dijkstra source is a sound heuristic for
+       both flow directions. *)
+    let place_core ~state ~bw ~peer core =
+      let needed = max 1 (Path_select.needed_slots state bw) in
+      let score =
+        match peer with
+        | Some p ->
+          let dist = Path_select.distance_map ~state ~needed_slots:needed ~source:p in
+          fun c -> dist.(c)
+        | None ->
+          let centre = Mesh.center mesh in
+          fun c -> float_of_int (Mesh.manhattan mesh centre c)
+      in
+      let bias_weight = match bias with Compact -> 0.001 | Spread -> 1.0 in
+      let best = ref (-1) in
+      let best_score = ref infinity in
+      for c = 0 to n_switch - 1 do
+        if ni_used.(c) < cap && admissible core c then begin
+          let s = score c +. (bias_weight *. float_of_int ni_used.(c)) in
+          if s < !best_score then begin
+            best_score := s;
+            best := c
+          end
+        end
+      done;
+      if !best < 0 || !best_score = infinity then
+        raise
+          (Fail
+             (Printf.sprintf "no feasible switch for core %d (NIs full or network saturated)" core));
+      placement.(core) <- !best;
+      ni_used.(!best) <- ni_used.(!best) + 1;
+      commit_load core !best
+    in
+    (* Route the pair (src,dst) in every group that still has unrouted
+       flows on that pair: one shared configuration per group (steps
+       4-6 of Algorithm 2). *)
+    let route_pair ~src_core ~dst_core =
+      let src_switch = placement.(src_core) and dst_switch = placement.(dst_core) in
+      let fail_with active msg =
+        raise
+          (Fail
+             (Printf.sprintf "flow %d->%d (%.1f MB/s, uc %d): %s" src_core dst_core
+                (List.fold_left (fun a it -> Float.max a it.flow.Flow.bandwidth) 0.0 active)
+                (match active with it :: _ -> it.uc | [] -> -1)
+                msg))
+      in
+      Array.iteri
+        (fun _gi g ->
+          let pending service =
+            Array.to_list items
+            |> List.filter (fun it ->
+                   (not it.routed)
+                   && List.mem it.uc g
+                   && it.flow.Flow.src = src_core
+                   && it.flow.Flow.dst = dst_core
+                   && it.flow.Flow.service = service)
+          in
+          (* Guaranteed flows share one configuration per group. *)
+          let active = pending Flow.Guaranteed in
+          if active <> [] then begin
+            let active_ucs = List.map (fun it -> it.uc) active in
+            let passive =
+              List.filter_map
+                (fun u -> if List.mem u active_ucs then None else Some states.(u))
+                g
+            in
+            let members =
+              List.map
+                (fun it ->
+                  ( states.(it.uc),
+                    {
+                      Path_select.conn_id = fresh_conn ();
+                      flow = it.flow;
+                      src_switch;
+                      dst_switch;
+                    } ))
+                active
+            in
+            match Path_select.route_shared ~passive ~members () with
+            | Ok rs ->
+              routes := List.rev_append rs !routes;
+              List.iter (fun it -> it.routed <- true) active
+            | Error msg -> fail_with active msg
+          end;
+          (* Best-effort flows are routed per use-case, with no
+             reservation: they take leftover slots at run time. *)
+          List.iter
+            (fun it ->
+              let req =
+                {
+                  Path_select.conn_id = fresh_conn ();
+                  flow = it.flow;
+                  src_switch;
+                  dst_switch;
+                }
+              in
+              match Path_select.route_be ~state:states.(it.uc) req with
+              | Ok r ->
+                routes := r :: !routes;
+                it.routed <- true
+              | Error msg -> fail_with [ it ] msg)
+            (pending Flow.Best_effort))
+        group_list
+    in
+    try
+      let continue = ref true in
+      while !continue do
+        match pick_item items placement with
+        | None -> continue := false
+        | Some it ->
+          let src = it.flow.Flow.src and dst = it.flow.Flow.dst in
+          let state = states.(it.uc) in
+          let bw = it.flow.Flow.bandwidth in
+          (match mode with
+          | Fixed ->
+            if placement.(src) < 0 || placement.(dst) < 0 then
+              raise (Fail "fixed placement leaves a communicating core unplaced")
+          | Free ->
+            if placement.(src) < 0 && placement.(dst) < 0 then begin
+              place_core ~state ~bw ~peer:None src;
+              place_core ~state ~bw ~peer:(Some placement.(src)) dst
+            end
+            else if placement.(src) < 0 then
+              place_core ~state ~bw ~peer:(Some placement.(dst)) src
+            else if placement.(dst) < 0 then
+              place_core ~state ~bw ~peer:(Some placement.(src)) dst);
+          route_pair ~src_core:src ~dst_core:dst
+      done;
+      (* Cores untouched by any flow still need an NI each. *)
+      Array.iteri
+        (fun core s ->
+          if s < 0 then begin
+            let free = ref (-1) in
+            for c = n_switch - 1 downto 0 do
+              if ni_used.(c) < cap then free := c
+            done;
+            if !free < 0 then raise (Fail "not enough NIs for flow-less cores");
+            placement.(core) <- !free;
+            ni_used.(!free) <- ni_used.(!free) + 1
+          end)
+        placement;
+      Ok { config; mesh; placement; routes = List.rev !routes; states; groups }
+    with Fail msg -> Error msg
+  end
+
+let map_on_mesh ?(bias = Compact) ~config ~mesh ~groups use_cases =
+  let cores = (List.hd use_cases).Use_case.cores in
+  run ~config ~mesh ~groups ~mode:Free ~bias ~initial_placement:(Array.make cores (-1)) use_cases
+
+let map_with_placement ~config ~mesh ~groups ~placement use_cases =
+  run ~config ~mesh ~groups ~mode:Fixed ~bias:Compact ~initial_placement:placement use_cases
+
+let map_design ?(config = Config.default) ~groups use_cases =
+  let sizes = Mesh.growth_sequence ~max_dim:config.Config.max_mesh_dim in
+  let rec go attempts = function
+    | [] -> Error { attempts = List.rev attempts }
+    | (w, h) :: rest -> (
+      let mesh = Mesh.create_kind ~kind:config.Config.topology ~width:w ~height:h in
+      match map_on_mesh ~bias:Compact ~config ~mesh ~groups use_cases with
+      | Ok t -> Ok t
+      | Error compact_msg -> (
+        (* cheap backtrack: a spread placement sometimes rescues a size
+           where co-location saturated one region *)
+        match map_on_mesh ~bias:Spread ~config ~mesh ~groups use_cases with
+        | Ok t -> Ok t
+        | Error _ -> go ((w, h, compact_msg) :: attempts) rest))
+  in
+  go [] sizes
+
+let pp_failure ppf { attempts } =
+  Format.fprintf ppf "@[<v>mapping failed at every size:@ ";
+  List.iter (fun (w, h, msg) -> Format.fprintf ppf "%dx%d: %s@ " w h msg) attempts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,79 @@
+(** Unified mapping and NoC configuration — phase 3 of the methodology
+    (paper §5, Algorithm 2).
+
+    Cores are mapped onto mesh NoCs of growing size.  Flows are taken
+    in non-increasing bandwidth order (preferring flows whose endpoints
+    are already mapped); placing a flow immediately selects its path
+    and reserves TDMA slots, per use-case, so infeasible placements are
+    pruned as early as possible.  All use-cases share one core
+    placement; each keeps its own resource state, and use-cases in one
+    smooth-switching group share one configuration. *)
+
+type t = {
+  config : Noc_arch.Noc_config.t;
+  mesh : Noc_arch.Mesh.t;
+  placement : int array;  (** core id -> switch id *)
+  routes : Noc_arch.Route.t list;
+      (** one configured connection per (use-case, flow) *)
+  states : Resources.t array;  (** final per-use-case resource state *)
+  groups : int list list;      (** smooth-switching groups used *)
+}
+
+type failure = {
+  attempts : (int * int * string) list;
+      (** (mesh width, height, failure reason) per size tried *)
+}
+
+val switch_count : t -> int
+(** Size of the designed NoC, the paper's §6.2 quality metric. *)
+
+val switches_in_use : t -> int
+(** Switches that host an NI or carry at least one route (mostly of
+    interest on meshes larger than strictly necessary). *)
+
+val routes_of_use_case : t -> int -> Noc_arch.Route.t list
+
+val map_design :
+  ?config:Noc_arch.Noc_config.t ->
+  groups:int list list ->
+  Noc_traffic.Use_case.t list ->
+  (t, failure) result
+(** Run Algorithm 2.  [groups] partitions the use-case ids (get it
+    from {!Switching.groups}); use-case ids must equal their list
+    position.  Tries mesh sizes from {!Noc_arch.Mesh.growth_sequence}
+    until one maps, or returns every size's failure reason. *)
+
+type placement_bias =
+  | Compact  (** prefer co-locating near the traffic (default) *)
+  | Spread   (** prefer emptier switches: relieves congested regions *)
+
+val map_on_mesh :
+  ?bias:placement_bias ->
+  config:Noc_arch.Noc_config.t ->
+  mesh:Noc_arch.Mesh.t ->
+  groups:int list list ->
+  Noc_traffic.Use_case.t list ->
+  (t, string) result
+(** A single size attempt (the body of the outer loop), exposed for
+    tests and for the annealing refinement.  [map_design] tries each
+    size with [Compact] first and retries with [Spread] before growing
+    the mesh — a cheap whole-attempt backtrack that rescues sizes where
+    greedy co-location paints itself into a corner. *)
+
+val map_with_placement :
+  config:Noc_arch.Noc_config.t ->
+  mesh:Noc_arch.Mesh.t ->
+  groups:int list list ->
+  placement:int array ->
+  Noc_traffic.Use_case.t list ->
+  (t, string) result
+(** Route all flows with a fixed core placement (no placement freedom);
+    used by the simulated-annealing refinement to evaluate a candidate
+    placement. *)
+
+val total_weighted_hops : t -> float
+(** Sum over all routes of bandwidth x hop count — the power-oriented
+    cost that placement refinement minimises (shorter paths for bigger
+    flows, cf. paper §5's intuition). *)
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,255 @@
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Tdma = Noc_arch.Tdma
+module Route = Noc_arch.Route
+module Flow = Noc_traffic.Flow
+module Shortest_path = Noc_graph.Shortest_path
+
+type request = {
+  conn_id : int;
+  flow : Flow.t;
+  src_switch : int;
+  dst_switch : int;
+}
+
+let hop_weight = 1.0
+let util_weight = 4.0
+
+let needed_slots state bw = Config.slots_for_bandwidth (Resources.config state) bw
+
+(* Link cost seen by a set of group members routing together: usable
+   only if every member still has the needed slots free; congestion is
+   the worst member's utilization, so shared paths avoid regions that
+   are hot in any member.  [excluded] lets the caller blacklist links
+   whose slot alignment defeated a previous attempt. *)
+let member_cost ?(excluded = []) members ~needed =
+  fun ~edge ~src:_ ~dst:_ ->
+  if List.mem edge excluded then None
+  else begin
+    let usable =
+      List.for_all
+        (fun state -> Resources.link_usable state ~link:edge ~needed_slots:needed)
+        members
+    in
+    if not usable then None
+    else begin
+      let congestion =
+        List.fold_left
+          (fun acc state -> Float.max acc (Resources.utilization state edge))
+          0.0 members
+      in
+      Some (hop_weight +. (util_weight *. congestion))
+    end
+  end
+
+let find_path ?(excluded = []) ~leader ~members ~needed ~src ~dst () =
+  let mesh = Resources.mesh leader in
+  let config = Resources.config leader in
+  match config.Config.routing with
+  | Config.Min_cost ->
+    (match
+       Shortest_path.dijkstra (Mesh.graph mesh)
+         ~cost:(member_cost ~excluded members ~needed)
+         ~source:src ~target:dst
+     with
+    | Some p -> Ok p.Shortest_path.edges
+    | None -> Error "no feasible path (bandwidth/slots exhausted)")
+  | Config.Xy ->
+    let links = Mesh.xy_route mesh ~src ~dst in
+    let ok =
+      List.for_all
+        (fun l ->
+          List.for_all (fun st -> Resources.link_usable st ~link:l ~needed_slots:needed) members)
+        links
+    in
+    if ok then Ok links else Error "XY path lacks capacity"
+
+(* Feasible starting slots common to every member along the path. *)
+let common_starts members links =
+  match members with
+  | [] -> invalid_arg "Path_select: no members"
+  | first :: rest ->
+    let starts state = Tdma.free_starts ~tables:(Resources.path_tables state links) in
+    List.fold_left
+      (fun acc state ->
+        let s = starts state in
+        List.filter (fun x -> List.mem x s) acc)
+      (starts first) rest
+
+(* Smallest spread slot set (>= needed) meeting the latency bound, or
+   the reason none does.  More slots shrink the worst waiting gap, so
+   we escalate the count until the bound holds or candidates run out. *)
+let pick_starts ~config ~candidates ~needed ~hops ~lat_req =
+  let slots = config.Config.slots in
+  let rec try_count k =
+    if k > List.length candidates then
+      Error
+        (Printf.sprintf "cannot meet latency %.0f ns (feasible starts %d, needed slots %d)"
+           lat_req (List.length candidates) needed)
+    else
+      match Tdma.choose_spread ~slots ~candidates ~count:k with
+      | None -> Error "not enough free aligned slots"
+      | Some starts ->
+        let lat = Tdma.worst_case_latency_ns ~config ~starts ~hops in
+        if lat <= lat_req then Ok starts else try_count (k + 1)
+  in
+  if List.length candidates < needed then
+    Error
+      (Printf.sprintf "only %d aligned slots free, flow needs %d" (List.length candidates) needed)
+  else try_count needed
+
+let check_ni members =
+  List.fold_left
+    (fun acc (state, req) ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        let bw = req.flow.Flow.bandwidth in
+        if
+          Resources.ni_available state ~core:req.flow.Flow.src >= bw
+          && Resources.ni_available state ~core:req.flow.Flow.dst >= bw
+        then Ok ()
+        else Error "NI link budget exhausted")
+    (Ok ()) members
+
+let charge_ni members =
+  List.iter
+    (fun (state, req) ->
+      let bw = req.flow.Flow.bandwidth in
+      (match Resources.ni_reserve state ~core:req.flow.Flow.src ~bw with
+      | Ok () -> ()
+      | Error msg -> invalid_arg msg);
+      match Resources.ni_reserve state ~core:req.flow.Flow.dst ~bw with
+      | Ok () -> ()
+      | Error msg -> invalid_arg msg)
+    members
+
+let make_route ?(service = Route.Gt) ~use_case req links starts =
+  {
+    Route.flow_id = req.conn_id;
+    use_case;
+    src_core = req.flow.Flow.src;
+    dst_core = req.flow.Flow.dst;
+    src_switch = req.src_switch;
+    dst_switch = req.dst_switch;
+    bandwidth = req.flow.Flow.bandwidth;
+    service;
+    links;
+    slot_starts = starts;
+  }
+
+let route_shared ?(passive = []) ~members () =
+  match members with
+  | [] -> invalid_arg "Path_select.route_shared: no members"
+  | (first_state, first_req) :: _ ->
+    let src = first_req.src_switch and dst = first_req.dst_switch in
+    List.iter
+      (fun (_, r) ->
+        if r.src_switch <> src || r.dst_switch <> dst then
+          invalid_arg "Path_select.route_shared: mismatched switch pairs")
+      members;
+    let config = Resources.config first_state in
+    (* Paper: path and slots are chosen for the member with the maximum
+       bandwidth, then reserved identically in every member. *)
+    let max_bw =
+      List.fold_left (fun acc (_, r) -> Float.max acc r.flow.Flow.bandwidth) 0.0 members
+    in
+    let lat_req = List.fold_left (fun acc (_, r) -> Float.min acc r.flow.Flow.latency_ns) infinity members in
+    let states = List.map fst members @ passive in
+    let passive_members =
+      (* Passive states mirror the reservation at the group maximum,
+         owned by the leader's connection id. *)
+      List.map
+        (fun state ->
+          (state, { first_req with flow = { first_req.flow with Flow.bandwidth = max_bw } }))
+        passive
+    in
+    let finish links starts =
+      match check_ni (members @ passive_members) with
+      | Error msg -> Error msg
+      | Ok () ->
+        charge_ni (members @ passive_members);
+        List.iter
+          (fun (state, req) ->
+            if links <> [] then
+              Tdma.reserve
+                ~tables:(Resources.path_tables state links)
+                ~owner:req.conn_id ~starts)
+          (members @ passive_members);
+        Ok
+          (List.map
+             (fun (state, req) ->
+               make_route ~use_case:(Resources.use_case state) req links starts)
+             members)
+    in
+    if src = dst then
+      (* NI-to-NI through one switch: one slot duration of latency. *)
+      if Config.slot_duration_ns config <= lat_req then finish [] []
+      else Error "latency bound tighter than one slot duration"
+    else begin
+      let needed = Config.slots_for_bandwidth config max_bw in
+      if needed > config.Config.slots then
+        Error
+          (Printf.sprintf "flow bandwidth %.1f MB/s exceeds link capacity %.1f MB/s" max_bw
+             (Config.link_capacity config))
+      else begin
+        (* When the least-cost path has no aligned slots, blacklist its
+           scarcest link and search again: the path search itself is
+           alignment-blind, so a handful of detour attempts recovers
+           most of the feasible region. *)
+        let max_retries = 12 in
+        let scarcest links =
+          let free_on l =
+            List.fold_left
+              (fun acc st -> min acc (Resources.free_slots st l))
+              max_int states
+          in
+          match links with
+          | [] -> None
+          | l :: rest ->
+            Some
+              (List.fold_left (fun best l' -> if free_on l' < free_on best then l' else best) l rest)
+        in
+        let rec attempt excluded tries last_err =
+          if tries > max_retries then Error last_err
+          else
+            match find_path ~excluded ~leader:first_state ~members:states ~needed ~src ~dst () with
+            | Error e -> if tries = 0 then Error e else Error last_err
+            | Ok links -> (
+              let candidates = common_starts states links in
+              match pick_starts ~config ~candidates ~needed ~hops:(List.length links) ~lat_req with
+              | Ok starts -> finish links starts
+              | Error e -> (
+                match scarcest links with
+                | None -> Error e
+                | Some l -> attempt (l :: excluded) (tries + 1) e))
+        in
+        attempt [] 0 "no feasible path"
+      end
+    end
+
+let route ~state req =
+  Result.map (fun routes -> List.hd routes) (route_shared ~members:[ (state, req) ] ())
+
+let route_be ~state req =
+  if Flow.is_guaranteed req.flow then
+    invalid_arg "Path_select.route_be: guaranteed flow";
+  let src = req.src_switch and dst = req.dst_switch in
+  let use_case = Resources.use_case state in
+  if src = dst then Ok (make_route ~service:Route.Be ~use_case req [] [])
+  else begin
+    (* Any link with at least one free slot can carry BE traffic; the
+       cost still steers BE paths away from GT-hot regions. *)
+    match find_path ~leader:state ~members:[ state ] ~needed:0 ~src ~dst () with
+    | Error _ as e -> e
+    | Ok links -> Ok (make_route ~service:Route.Be ~use_case req links [])
+  end
+
+let distance_map ~state ~needed_slots ~source =
+  let mesh = Resources.mesh state in
+  let dist, _ =
+    Shortest_path.dijkstra_all (Mesh.graph mesh)
+      ~cost:(member_cost [ state ] ~needed:needed_slots)
+      ~source
+  in
+  dist

@@ -1,0 +1,63 @@
+(** Unified path selection and TDMA slot reservation (paper §5,
+    following the single-use-case approach of [20]).
+
+    A flow is routed on the least-cost path whose links can still carry
+    it; the cost of a link combines hop delay and residual
+    bandwidth/slot pressure, so heavily loaded regions are avoided.
+    Reservation is done immediately — path selection and resource
+    reservation are *unified* with mapping, which prunes infeasible
+    placements early. *)
+
+type request = {
+  conn_id : int;             (** unique connection id (slot-table owner) *)
+  flow : Noc_traffic.Flow.t;
+  src_switch : int;
+  dst_switch : int;
+}
+
+val needed_slots : Resources.t -> Noc_util.Units.bandwidth -> int
+(** Slots a bandwidth requires under the state's configuration. *)
+
+val route : state:Resources.t -> request -> (Noc_arch.Route.t, string) result
+(** Route and reserve one flow in one use-case.  On success the state
+    is updated (slots reserved, NI budget charged); on failure the
+    state is untouched. *)
+
+val route_shared :
+  ?passive:Resources.t list ->
+  members:(Resources.t * request) list ->
+  unit ->
+  (Noc_arch.Route.t list, string) result
+(** Group-shared routing (paper §5, step 6): use-cases in one
+    smooth-switching group must use the same path and slot-table
+    reservation.  The path is selected for the member with the maximum
+    bandwidth; starting slots must be free in *every* member's tables;
+    reservation is performed in each member at that maximum bandwidth.
+    All requests must connect the same switch pair.
+
+    [passive] lists the states of group members that do not carry this
+    flow themselves but share the group's single configuration: the
+    same slots are reserved there too (owned by the first member's
+    connection id), keeping every member's slot tables identical.
+
+    On failure no state is modified. *)
+
+val route_be : state:Resources.t -> request -> (Noc_arch.Route.t, string) result
+(** Route one best-effort flow: a least-cost path is chosen (avoiding
+    links already hot with guaranteed traffic), but no slots are
+    reserved and no resource is charged — BE traffic rides on leftover
+    slots at run time and has no contract.
+    @raise Invalid_argument if the request's flow is guaranteed. *)
+
+val distance_map :
+  state:Resources.t -> needed_slots:int -> source:int -> float array
+(** Least path cost from [source] to every switch, for the placement
+    scan of the mapping loop ([infinity] = unreachable with the needed
+    slots). *)
+
+val hop_weight : float
+(** Cost of traversing one link (the fixed component). *)
+
+val util_weight : float
+(** Scale of the congestion component: a fully utilised link costs
+    [hop_weight + util_weight] per hop. *)

@@ -1,0 +1,107 @@
+module Config = Noc_arch.Noc_config
+module Route = Noc_arch.Route
+
+type cost = {
+  from_uc : int;
+  to_uc : int;
+  smooth : bool;
+  paths_changed : int;
+  shared_paths : int;
+  slot_writes : int;
+  reconfiguration_ns : Noc_util.Units.latency;
+}
+
+let setup_cycles = 128
+
+(* Hardware view of one configuration: (link, slot) -> (src, dst, hop),
+   and (src, dst) -> path, built from the use-case's routes. *)
+let entries_of_routes ~slots routes =
+  let table = Hashtbl.create 256 in
+  let paths = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace paths (r.Route.src_core, r.Route.dst_core) r.Route.links;
+      List.iter
+        (fun start ->
+          List.iteri
+            (fun hop link ->
+              Hashtbl.replace table
+                (link, (start + hop) mod slots)
+                (r.Route.src_core, r.Route.dst_core, hop))
+            r.Route.links)
+        r.Route.slot_starts)
+    routes;
+  (table, paths)
+
+let pair (m : Mapping.t) ~from_uc ~to_uc =
+  let n_uc = Array.length m.Mapping.states in
+  if from_uc < 0 || from_uc >= n_uc || to_uc < 0 || to_uc >= n_uc then
+    invalid_arg "Reconfig.pair: use-case id out of range";
+  if from_uc = to_uc then invalid_arg "Reconfig.pair: identical use-cases";
+  let config = m.Mapping.config in
+  let slots = config.Config.slots in
+  let table_a, paths_a = entries_of_routes ~slots (Mapping.routes_of_use_case m from_uc) in
+  let table_b, paths_b = entries_of_routes ~slots (Mapping.routes_of_use_case m to_uc) in
+  (* Entries to rewrite: present-and-different or present-on-one-side. *)
+  let writes = ref 0 in
+  Hashtbl.iter
+    (fun key v ->
+      match Hashtbl.find_opt table_b key with
+      | Some w when w = v -> ()
+      | Some _ | None -> incr writes)
+    table_a;
+  Hashtbl.iter (fun key _ -> if not (Hashtbl.mem table_a key) then incr writes) table_b;
+  (* Paths shared vs changed, over core pairs routed in both. *)
+  let shared = ref 0 and changed = ref 0 in
+  Hashtbl.iter
+    (fun pair links ->
+      match Hashtbl.find_opt paths_b pair with
+      | Some links' -> if links = links' then incr shared else incr changed
+      | None -> ())
+    paths_a;
+  let group_of = Array.make n_uc (-1) in
+  List.iteri (fun gi g -> List.iter (fun u -> group_of.(u) <- gi) g) m.Mapping.groups;
+  let smooth = group_of.(from_uc) = group_of.(to_uc) in
+  (* Inside a group the configuration is shared by construction
+     (including mirror reservations for flows a member lacks), so no
+     entry is ever rewritten; Verify.verify checks the occupancy
+     equality independently. *)
+  let writes = if smooth then 0 else !writes in
+  let changed = if smooth then 0 else !changed in
+  let cycles = if writes = 0 then 0 else setup_cycles + writes in
+  {
+    from_uc;
+    to_uc;
+    smooth;
+    paths_changed = changed;
+    shared_paths = !shared;
+    slot_writes = writes;
+    reconfiguration_ns =
+      float_of_int cycles *. Noc_util.Units.cycle_ns config.Config.freq_mhz;
+  }
+
+let analyze (m : Mapping.t) =
+  let n_uc = Array.length m.Mapping.states in
+  let acc = ref [] in
+  for a = n_uc - 1 downto 0 do
+    for b = n_uc - 1 downto a + 1 do
+      acc := pair m ~from_uc:a ~to_uc:b :: !acc
+    done
+  done;
+  !acc
+
+let worst (m : Mapping.t) =
+  match analyze m with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun best c -> if c.slot_writes > best.slot_writes then c else best)
+         first rest)
+
+let pp ppf c =
+  Format.fprintf ppf
+    "uc %d <-> uc %d: %s, %d paths changed / %d shared, %d slot writes, %.1f ns" c.from_uc
+    c.to_uc
+    (if c.smooth then "smooth (shared config)" else "re-configurable")
+    c.paths_changed c.shared_paths c.slot_writes c.reconfiguration_ns

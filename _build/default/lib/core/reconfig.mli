@@ -1,0 +1,45 @@
+(** Dynamic re-configuration analysis (paper §3 / §6.4).
+
+    When the SoC switches between use-cases of *different* groups, the
+    NoC's paths and TDMA slot tables may be re-written during the
+    switching window (hundreds of microseconds to milliseconds).  This
+    module quantifies that re-configuration: which connections change
+    path, how many slot-table entries must be written, and how long the
+    rewrite takes through the configuration port — the designer checks
+    this against the use-case switching budget.
+
+    A slot-table entry is hardware state naming the connection (source
+    and destination core, hop position) served in that slot on that
+    link; two configurations agree on an entry when the same flow uses
+    it the same way, so use-cases in one smooth-switching group need
+    zero rewrites by construction. *)
+
+type cost = {
+  from_uc : int;
+  to_uc : int;
+  smooth : bool;       (** same group: re-configuration forbidden (and unneeded) *)
+  paths_changed : int; (** core pairs routed in both use-cases whose paths differ *)
+  shared_paths : int;  (** core pairs routed identically in both *)
+  slot_writes : int;   (** (link, slot) entries that must be rewritten *)
+  reconfiguration_ns : Noc_util.Units.latency;
+      (** rewrite time through the configuration port *)
+}
+
+val setup_cycles : int
+(** Fixed control-distribution overhead charged per switching
+    (quiescing the old use-case, broadcasting the go signal). *)
+
+val pair : Mapping.t -> from_uc:int -> to_uc:int -> cost
+(** Cost of switching between two use-cases of a completed design.
+    @raise Invalid_argument on out-of-range ids or [from_uc = to_uc]. *)
+
+val analyze : Mapping.t -> cost list
+(** All ordered use-case pairs, [from_uc < to_uc] ordering removed —
+    costs are symmetric here, so each unordered pair appears once
+    (as [from_uc < to_uc]). *)
+
+val worst : Mapping.t -> cost option
+(** The most expensive switching, if the design has at least two
+    use-cases. *)
+
+val pp : Format.formatter -> cost -> unit

@@ -1,0 +1,171 @@
+module Rng = Noc_util.Rng
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+
+type options = {
+  iterations : int;
+  initial_temp : float;
+  cooling : float;
+  seed : int;
+}
+
+let default_options = { iterations = 120; initial_temp = 0.1; cooling = 0.97; seed = 42 }
+
+type outcome = {
+  result : Mapping.t;
+  initial_cost : float;
+  final_cost : float;
+  accepted : int;
+  evaluated : int;
+}
+
+(* Propose a neighbouring placement: swap two cores, or move one core
+   to a switch that still has a free NI. *)
+let propose rng ~cap ~switches placement =
+  let cores = Array.length placement in
+  let next = Array.copy placement in
+  let ni_used = Array.make switches 0 in
+  Array.iter (fun s -> ni_used.(s) <- ni_used.(s) + 1) placement;
+  let free = ref [] in
+  for s = switches - 1 downto 0 do
+    if ni_used.(s) < cap then free := s :: !free
+  done;
+  let do_move = !free <> [] && Rng.bool rng in
+  if do_move then begin
+    let core = Rng.int rng cores in
+    next.(core) <- Rng.pick_list rng !free
+  end
+  else if cores >= 2 then begin
+    let a = Rng.int rng cores in
+    let b = (a + 1 + Rng.int rng (cores - 1)) mod cores in
+    let tmp = next.(a) in
+    next.(a) <- next.(b);
+    next.(b) <- tmp
+  end;
+  next
+
+type tabu_options = {
+  tabu_iterations : int;
+  tenure : int;
+  candidates : int;
+  tabu_seed : int;
+}
+
+let default_tabu_options = { tabu_iterations = 60; tenure = 8; candidates = 6; tabu_seed = 42 }
+
+(* A move is identified by the cores it touched; the reverse move is
+   tabu for [tenure] steps after it is taken. *)
+let tabu ?(options = default_tabu_options) (initial : Mapping.t) use_cases =
+  let rng = Rng.create ~seed:options.tabu_seed in
+  let config = initial.Mapping.config in
+  let mesh = initial.Mapping.mesh in
+  let groups = initial.Mapping.groups in
+  let cap = config.Config.nis_per_switch in
+  let switches = Mesh.switch_count mesh in
+  let evaluate placement =
+    match Mapping.map_with_placement ~config ~mesh ~groups ~placement use_cases with
+    | Ok t -> Some (t, Mapping.total_weighted_hops t)
+    | Error _ -> None
+  in
+  let initial_cost = Mapping.total_weighted_hops initial in
+  let current = ref (initial, initial_cost) in
+  let best = ref (initial, initial_cost) in
+  let tabu_until : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  (* key: core that moved; value: step until which moving it again is tabu *)
+  let accepted = ref 0 in
+  let evaluated = ref 0 in
+  for step = 1 to options.tabu_iterations do
+    let cur_t, _ = !current in
+    (* Evaluate a small candidate neighbourhood; keep the best
+       non-tabu feasible move (or a tabu one that beats the best). *)
+    let best_move = ref None in
+    for _ = 1 to options.candidates do
+      let candidate = propose rng ~cap ~switches cur_t.Mapping.placement in
+      (* cores whose switch changed *)
+      let moved =
+        let acc = ref [] in
+        Array.iteri
+          (fun core s -> if s <> cur_t.Mapping.placement.(core) then acc := core :: !acc)
+          candidate;
+        !acc
+      in
+      let is_tabu =
+        List.exists
+          (fun core ->
+            match Hashtbl.find_opt tabu_until core with
+            | Some until -> step <= until
+            | None -> false)
+          moved
+      in
+      match evaluate candidate with
+      | None -> ()
+      | Some (t, cost) ->
+        incr evaluated;
+        let aspirated = cost < snd !best in
+        if (not is_tabu) || aspirated then begin
+          match !best_move with
+          | Some (_, _, c) when c <= cost -> ()
+          | _ -> best_move := Some (t, moved, cost)
+        end
+    done;
+    match !best_move with
+    | None -> ()
+    | Some (t, moved, cost) ->
+      incr accepted;
+      current := (t, cost);
+      List.iter (fun core -> Hashtbl.replace tabu_until core (step + options.tenure)) moved;
+      if cost < snd !best then best := (t, cost)
+  done;
+  let best_t, best_cost = !best in
+  {
+    result = best_t;
+    initial_cost;
+    final_cost = best_cost;
+    accepted = !accepted;
+    evaluated = !evaluated;
+  }
+
+let anneal ?(options = default_options) (initial : Mapping.t) use_cases =
+  let rng = Rng.create ~seed:options.seed in
+  let config = initial.Mapping.config in
+  let mesh = initial.Mapping.mesh in
+  let groups = initial.Mapping.groups in
+  let cap = config.Config.nis_per_switch in
+  let switches = Mesh.switch_count mesh in
+  let evaluate placement =
+    match Mapping.map_with_placement ~config ~mesh ~groups ~placement use_cases with
+    | Ok t -> Some (t, Mapping.total_weighted_hops t)
+    | Error _ -> None
+  in
+  let initial_cost = Mapping.total_weighted_hops initial in
+  let current = ref (initial, initial_cost) in
+  let best = ref (initial, initial_cost) in
+  let temp = ref (options.initial_temp *. Float.max initial_cost 1.0) in
+  let accepted = ref 0 in
+  let evaluated = ref 0 in
+  for _ = 1 to options.iterations do
+    let cur_t, cur_cost = !current in
+    let candidate = propose rng ~cap ~switches cur_t.Mapping.placement in
+    (match evaluate candidate with
+    | None -> ()
+    | Some (t, cost) ->
+      incr evaluated;
+      let accept =
+        cost <= cur_cost
+        || Rng.chance rng (exp ((cur_cost -. cost) /. Float.max !temp 1e-9))
+      in
+      if accept then begin
+        incr accepted;
+        current := (t, cost);
+        if cost < snd !best then best := (t, cost)
+      end);
+    temp := !temp *. options.cooling
+  done;
+  let best_t, best_cost = !best in
+  {
+    result = best_t;
+    initial_cost;
+    final_cost = best_cost;
+    accepted = !accepted;
+    evaluated = !evaluated;
+  }

@@ -1,0 +1,53 @@
+(** Placement refinement by simulated annealing (paper §5: "once the
+    initial mapping step is performed, the solution space can be
+    explored further by considering swapping of vertices using
+    simulated annealing or tabu search, as performed in [19]").
+
+    The initial greedy mapping is refined by swapping core placements
+    (or moving a core to a free NI) and re-running the unified routing;
+    a candidate is kept according to the usual Metropolis rule on the
+    bandwidth-weighted hop count, which is the dominant term of NoC
+    power (paper §5's intuition: large flows on short paths). *)
+
+type options = {
+  iterations : int;     (** proposals to evaluate *)
+  initial_temp : float; (** Metropolis temperature, in cost units *)
+  cooling : float;      (** geometric cooling factor per iteration *)
+  seed : int;           (** PRNG seed (refinement is deterministic) *)
+}
+
+val default_options : options
+(** 120 iterations, temperature 0.1 x initial cost, cooling 0.97,
+    seed 42. *)
+
+type outcome = {
+  result : Mapping.t;      (** best feasible design found *)
+  initial_cost : float;    (** bandwidth-weighted hops before refinement *)
+  final_cost : float;      (** after refinement (<= initial) *)
+  accepted : int;          (** accepted proposals *)
+  evaluated : int;         (** proposals whose routing was attempted *)
+}
+
+val anneal :
+  ?options:options -> Mapping.t -> Noc_traffic.Use_case.t list -> outcome
+(** Refine a completed mapping.  Never returns a worse design than the
+    input: the best feasible placement seen is kept. *)
+
+type tabu_options = {
+  tabu_iterations : int;  (** neighbourhood steps *)
+  tenure : int;           (** steps a reversed move stays forbidden *)
+  candidates : int;       (** neighbours evaluated per step *)
+  tabu_seed : int;
+}
+
+val default_tabu_options : tabu_options
+(** 60 steps, tenure 8, 6 candidates per step, seed 42. *)
+
+val tabu :
+  ?options:tabu_options -> Mapping.t -> Noc_traffic.Use_case.t list -> outcome
+(** Tabu-search refinement (the paper's §5 names it alongside simulated
+    annealing, citing [19]): each step takes the best feasible
+    neighbour whose move is not tabu — even if it is uphill — and
+    forbids the reverse move for [tenure] steps; aspiration overrides
+    the tabu when a move beats the best cost seen.  Never returns a
+    worse design than the input. *)

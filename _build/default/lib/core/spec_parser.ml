@@ -1,0 +1,184 @@
+module Flow = Noc_traffic.Flow
+module Use_case = Noc_traffic.Use_case
+
+type error = {
+  line : int;
+  message : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Parse of error
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse { line; message })) fmt
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+(* Mutable parse state: the spec is assembled use-case by use-case. *)
+type state = {
+  mutable name : string;
+  mutable cores : int option;
+  mutable order : string list;                    (* use-case names, reversed *)
+  flows : (string, Flow.t list) Hashtbl.t;        (* per use-case, reversed *)
+  mutable parallel : string list list;            (* reversed *)
+  mutable smooth : (string * string) list;        (* reversed *)
+  mutable current : string option;
+}
+
+let int_of ~line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "%s: expected an integer, got '%s'" what s
+
+let float_of ~line what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "%s: expected a number, got '%s'" what s
+
+let parse_flow ~line st rest =
+  let uc =
+    match st.current with
+    | Some u -> u
+    | None -> fail line "flow outside any use-case"
+  in
+  match rest with
+  | src :: "->" :: dst :: "bw" :: bw :: opts ->
+    let src = int_of ~line "flow source" src in
+    let dst = int_of ~line "flow destination" dst in
+    let bw = float_of ~line "bandwidth" bw in
+    let rec options latency_ns service = function
+      | [] -> (latency_ns, service)
+      | "lat" :: v :: rest ->
+        options (Some (float_of ~line "latency" v)) service rest
+      | "be" :: rest -> options latency_ns Flow.Best_effort rest
+      | tok :: _ -> fail line "unknown flow option '%s'" tok
+    in
+    let latency_ns, service = options None Flow.Guaranteed opts in
+    let flow = Flow.v ?latency_ns ~service ~src ~dst bw in
+    (match st.cores with
+    | Some cores -> (
+      match Flow.validate ~cores flow with
+      | Ok () -> ()
+      | Error msg -> fail line "%s" msg)
+    | None -> fail line "declare 'cores N' before flows");
+    let cur = Option.value (Hashtbl.find_opt st.flows uc) ~default:[] in
+    Hashtbl.replace st.flows uc (flow :: cur)
+  | _ -> fail line "expected: flow SRC -> DST bw MBPS [lat NS] [be]"
+
+let uc_id ~line st name =
+  let order = List.rev st.order in
+  let rec find i = function
+    | [] -> fail line "unknown use-case '%s'" name
+    | u :: _ when u = name -> i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 order
+
+let parse_line st line_no raw =
+  match tokens (strip_comment raw) with
+  | [] -> ()
+  | "name" :: rest when rest <> [] -> st.name <- String.concat " " rest
+  | [ "cores"; n ] ->
+    let v = int_of ~line:line_no "cores" n in
+    if v < 2 then fail line_no "a SoC needs at least two cores";
+    if st.cores <> None then fail line_no "duplicate 'cores' directive";
+    st.cores <- Some v
+  | [ "use-case"; name ] ->
+    if List.mem name st.order then fail line_no "duplicate use-case '%s'" name;
+    st.order <- name :: st.order;
+    Hashtbl.replace st.flows name [];
+    st.current <- Some name
+  | "flow" :: rest -> parse_flow ~line:line_no st rest
+  | "parallel" :: names ->
+    if List.length names < 2 then fail line_no "'parallel' needs at least two use-cases";
+    List.iter (fun n -> ignore (uc_id ~line:line_no st n)) names;
+    st.parallel <- names :: st.parallel
+  | [ "smooth"; a; b ] ->
+    ignore (uc_id ~line:line_no st a);
+    ignore (uc_id ~line:line_no st b);
+    st.smooth <- (a, b) :: st.smooth
+  | tok :: _ -> fail line_no "unknown directive '%s'" tok
+
+let parse ~name text =
+  let st =
+    {
+      name;
+      cores = None;
+      order = [];
+      flows = Hashtbl.create 8;
+      parallel = [];
+      smooth = [];
+      current = None;
+    }
+  in
+  try
+    List.iteri (fun i raw -> parse_line st (i + 1) raw) (String.split_on_char '\n' text);
+    let cores =
+      match st.cores with Some c -> c | None -> fail 0 "missing 'cores' directive"
+    in
+    let order = List.rev st.order in
+    if order = [] then fail 0 "no use-cases declared";
+    let use_cases =
+      List.mapi
+        (fun id uc_name ->
+          let flows = List.rev (Option.value (Hashtbl.find_opt st.flows uc_name) ~default:[]) in
+          Use_case.create ~id ~name:uc_name ~cores flows)
+        order
+    in
+    let id_of n = uc_id ~line:0 st n in
+    Ok
+      {
+        Design_flow.name = st.name;
+        use_cases;
+        parallel = List.rev_map (List.map id_of) st.parallel;
+        smooth = List.rev_map (fun (a, b) -> (id_of a, id_of b)) st.smooth;
+      }
+  with
+  | Parse e -> Error e
+  | Invalid_argument msg -> Error { line = 0; message = msg }
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text ->
+    let name = Filename.remove_extension (Filename.basename path) in
+    parse ~name text
+  | exception Sys_error msg -> Error { line = 0; message = msg }
+
+let to_text (spec : Design_flow.spec) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "name %s\n" spec.Design_flow.name);
+  (match spec.Design_flow.use_cases with
+  | [] -> ()
+  | first :: _ -> Buffer.add_string buf (Printf.sprintf "cores %d\n" first.Use_case.cores));
+  let name_of id = (List.nth spec.Design_flow.use_cases id).Use_case.name in
+  List.iter
+    (fun u ->
+      Buffer.add_string buf (Printf.sprintf "\nuse-case %s\n" u.Use_case.name);
+      List.iter
+        (fun f ->
+          Buffer.add_string buf
+            (Printf.sprintf "  flow %d -> %d bw %.6g%s%s\n" f.Flow.src f.Flow.dst
+               f.Flow.bandwidth
+               (if f.Flow.latency_ns <> infinity then Printf.sprintf " lat %.6g" f.Flow.latency_ns
+                else "")
+               (if Flow.is_guaranteed f then "" else " be")))
+        u.Use_case.flows)
+    spec.Design_flow.use_cases;
+  if spec.Design_flow.parallel <> [] then Buffer.add_char buf '\n';
+  List.iter
+    (fun set ->
+      Buffer.add_string buf
+        (Printf.sprintf "parallel %s\n" (String.concat " " (List.map name_of set))))
+    spec.Design_flow.parallel;
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "smooth %s %s\n" (name_of a) (name_of b)))
+    spec.Design_flow.smooth;
+  Buffer.contents buf

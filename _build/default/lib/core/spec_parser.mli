@@ -1,0 +1,43 @@
+(** Textual design-spec format.
+
+    Lets a user describe a multi-use-case SoC in a plain file and run
+    the whole flow from the command line ([nocmap map --spec FILE]).
+    The format, line-oriented, [#] starts a comment:
+
+    {v
+    name set-top-box        # optional; defaults to the supplied name
+    cores 7
+
+    use-case video
+      flow 0 -> 1 bw 100
+      flow 1 -> 2 bw 75 lat 500       # latency bound in ns
+      flow 2 -> 3 bw 40 be            # best-effort: no reservation
+
+    use-case record
+      flow 0 -> 4 bw 120
+
+    parallel video record             # these may run concurrently
+    smooth video record               # these need smooth switching
+    v}
+
+    Use-case names must be declared before they are referenced by
+    [parallel]/[smooth]; ids are assigned in declaration order. *)
+
+type error = {
+  line : int;     (** 1-based line of the offending text *)
+  message : string;
+}
+
+val parse : name:string -> string -> (Design_flow.spec, error) result
+(** Parse a complete spec document.  [name] is the fallback design
+    name (e.g. the file name). *)
+
+val parse_file : string -> (Design_flow.spec, error) result
+(** Read and [parse] a file; I/O failures surface as an [error] on
+    line 0. *)
+
+val to_text : Design_flow.spec -> string
+(** Render a spec back into the textual format ([parse] of the result
+    reproduces the spec — used by tests as a round-trip property). *)
+
+val pp_error : Format.formatter -> error -> unit

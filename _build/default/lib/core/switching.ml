@@ -1,0 +1,53 @@
+module Intgraph = Noc_graph.Intgraph
+module Components = Noc_graph.Components
+
+type t = { graph : Intgraph.t }
+
+let check t u =
+  if u < 0 || u >= Intgraph.node_count t.graph then
+    invalid_arg "Switching: use-case id out of range"
+
+let add_smooth t a b =
+  check t a;
+  check t b;
+  if a = b then invalid_arg "Switching: a use-case cannot smooth-switch with itself";
+  if not (Intgraph.mem_edge t.graph a b) then ignore (Intgraph.add_edge t.graph a b)
+
+let create ~use_cases ~smooth =
+  let t = { graph = Intgraph.create ~directed:false ~nodes:use_cases } in
+  List.iter (fun (a, b) -> add_smooth t a b) smooth;
+  t
+
+let add_compound t compound =
+  let cid = compound.Compound.use_case.Noc_traffic.Use_case.id in
+  List.iter (fun m -> add_smooth t m cid) compound.Compound.members
+
+let requires_smooth t a b =
+  check t a;
+  check t b;
+  Intgraph.mem_edge t.graph a b
+
+let groups t = Components.connected_components t.graph
+
+let group_of t = Components.component_ids t.graph
+
+let reconfigurable_switchings t =
+  let ids = group_of t in
+  let n = Array.length ids in
+  let count = ref 0 in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if ids.(a) <> ids.(b) then incr count
+    done
+  done;
+  !count
+
+let pp ppf t =
+  let gs = groups t in
+  Format.fprintf ppf "@[<v>switching graph: %d use-cases, %d groups@ "
+    (Intgraph.node_count t.graph) (List.length gs);
+  List.iteri
+    (fun i g ->
+      Format.fprintf ppf "group %d: {%s}@ " i (String.concat "," (List.map string_of_int g)))
+    gs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Switching graph and use-case grouping — phase 2 of the methodology
+    (paper §4, Definition 1 and Algorithm 1).
+
+    Vertices are use-cases; an undirected edge means the two use-cases
+    need *smooth switching* between them and therefore must share one
+    NoC configuration.  Use-cases reachable from each other in this
+    graph are grouped; each group gets a single path/slot
+    configuration, while distinct groups may be re-configured at
+    switching time. *)
+
+type t
+
+val create : use_cases:int -> smooth:(int * int) list -> t
+(** Switching graph over use-case ids [0 .. use_cases-1] with the
+    user-supplied smooth-switching pairs (SUC input).
+    @raise Invalid_argument on out-of-range or self-looping pairs. *)
+
+val add_smooth : t -> int -> int -> unit
+(** Add one smooth-switching requirement. *)
+
+val add_compound : t -> Compound.t -> unit
+(** Paper §4: use-cases in a compound mode automatically require
+    smooth switching — link every member to the compound use-case. *)
+
+val requires_smooth : t -> int -> int -> bool
+(** Is there a direct smooth-switching edge between the two? *)
+
+val groups : t -> int list list
+(** Algorithm 1: repeated DFS grouping of mutually reachable vertices.
+    Every use-case appears in exactly one group; isolated use-cases
+    form singleton groups.  Groups are sorted by smallest member. *)
+
+val group_of : t -> int array
+(** [group_of t].(u) = index of [u]'s group in [groups t]. *)
+
+val reconfigurable_switchings : t -> int
+(** Number of unordered use-case pairs that belong to different groups,
+    i.e. switchings at which the NoC may be re-configured. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,174 @@
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Route = Noc_arch.Route
+module Slot_table = Noc_arch.Slot_table
+module Turn_model = Noc_arch.Turn_model
+module Flow = Noc_traffic.Flow
+module Use_case = Noc_traffic.Use_case
+
+type violation = {
+  use_case : int;
+  src_core : int;
+  dst_core : int;
+  kind : string;
+  detail : string;
+}
+
+type report = {
+  checks : int;
+  violations : violation list;
+}
+
+let ok r = r.violations = []
+
+let verify (m : Mapping.t) use_cases =
+  let config = m.Mapping.config in
+  let mesh = m.Mapping.mesh in
+  let checks = ref 0 in
+  let violations = ref [] in
+  let fail ~use_case ~src_core ~dst_core kind detail =
+    violations := { use_case; src_core; dst_core; kind; detail } :: !violations
+  in
+  let check ~use_case ~src_core ~dst_core kind cond detail =
+    incr checks;
+    if not cond then fail ~use_case ~src_core ~dst_core kind (detail ())
+  in
+  let slot_bw = Config.slot_bandwidth config in
+  List.iter
+    (fun u ->
+      let uid = u.Use_case.id in
+      let state = m.Mapping.states.(uid) in
+      List.iter
+        (fun f ->
+          let src = f.Flow.src and dst = f.Flow.dst in
+          let here = check ~use_case:uid ~src_core:src ~dst_core:dst in
+          let service = if Flow.is_guaranteed f then Route.Gt else Route.Be in
+          let matching =
+            List.filter
+              (fun r ->
+                r.Route.use_case = uid && r.Route.src_core = src && r.Route.dst_core = dst
+                && r.Route.service = service)
+              m.Mapping.routes
+          in
+          here "route-exists"
+            (List.length matching = 1)
+            (fun () -> Printf.sprintf "%d routes found" (List.length matching));
+          match matching with
+          | [ r ] ->
+            here "placement"
+              (m.Mapping.placement.(src) = r.Route.src_switch
+              && m.Mapping.placement.(dst) = r.Route.dst_switch)
+              (fun () -> "route endpoints disagree with the core placement");
+            (* Path continuity: the links chain src_switch to dst_switch. *)
+            let continuous =
+              let rec walk at = function
+                | [] -> at = r.Route.dst_switch
+                | l :: rest ->
+                  let a, b = Mesh.link_endpoints mesh l in
+                  a = at && walk b rest
+              in
+              walk r.Route.src_switch r.Route.links
+            in
+            here "path" continuous (fun () -> "path is not a connected chain");
+            if r.Route.service = Route.Be then
+              (* best effort: no reservation allowed, nothing to check *)
+              here "be-no-slots" (r.Route.slot_starts = [])
+                (fun () -> "a best-effort route must not hold slot reservations")
+            else begin
+            if r.Route.links <> [] then begin
+              let granted = float_of_int (List.length r.Route.slot_starts) *. slot_bw in
+              here "bandwidth"
+                (granted +. 1e-9 >= f.Flow.bandwidth)
+                (fun () ->
+                  Printf.sprintf "granted %.1f MB/s < required %.1f MB/s" granted
+                    f.Flow.bandwidth);
+              (* The use-case's own tables must own every reserved slot. *)
+              let owned =
+                let rec hops start i = function
+                  | [] -> true
+                  | l :: rest ->
+                    (match Slot_table.owner (Resources.table state l) (start + i) with
+                    | Some _ -> hops start (i + 1) rest
+                    | None -> false)
+                in
+                List.for_all (fun start -> hops start 0 r.Route.links) r.Route.slot_starts
+              in
+              here "slots-owned" owned (fun () -> "a reserved slot is free in the table")
+            end;
+            if r.Route.links <> [] && r.Route.slot_starts = [] then
+              here "latency" false (fun () -> "no slots reserved, latency unbounded")
+            else begin
+              let lat = Route.worst_case_latency_ns ~config r in
+              here "latency"
+                (lat <= f.Flow.latency_ns +. 1e-9)
+                (fun () ->
+                  Printf.sprintf "worst-case %.1f ns > bound %.1f ns" lat f.Flow.latency_ns)
+            end
+            end
+          | _ -> ())
+        u.Use_case.flows)
+    use_cases;
+  (* NI capacity: no switch hosts more cores than it has NIs. *)
+  (let counts = Hashtbl.create 16 in
+   Array.iter
+     (fun sw ->
+       Hashtbl.replace counts sw (1 + Option.value (Hashtbl.find_opt counts sw) ~default:0))
+     m.Mapping.placement;
+   Hashtbl.iter
+     (fun sw n ->
+       incr checks;
+       if n > config.Config.nis_per_switch then
+         fail ~use_case:(-1) ~src_core:(-1) ~dst_core:(-1) "ni-capacity"
+           (Printf.sprintf "switch %d hosts %d cores but has %d NIs" sw n
+              config.Config.nis_per_switch))
+     counts);
+  (* Deadlock freedom, per use-case configuration. *)
+  List.iter
+    (fun u ->
+      let uid = u.Use_case.id in
+      incr checks;
+      let routes = Mapping.routes_of_use_case m uid in
+      if not (Turn_model.is_deadlock_free ~links:(Mesh.link_count mesh) ~routes) then
+        fail ~use_case:uid ~src_core:(-1) ~dst_core:(-1) "deadlock"
+          "channel dependency graph has a cycle")
+    use_cases;
+  (* Shared configuration inside each smooth-switching group: slot
+     occupancy patterns must be identical across members. *)
+  List.iter
+    (fun group ->
+      match group with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+        let occupancy uc l =
+          let table = Resources.table m.Mapping.states.(uc) l in
+          List.init (Slot_table.slots table) (fun i -> not (Slot_table.is_free table i))
+        in
+        List.iter
+          (fun other ->
+            incr checks;
+            let same =
+              let ok = ref true in
+              for l = 0 to Mesh.link_count mesh - 1 do
+                if occupancy first l <> occupancy other l then ok := false
+              done;
+              !ok
+            in
+            if not same then
+              fail ~use_case:other ~src_core:(-1) ~dst_core:(-1) "group-config"
+                (Printf.sprintf "slot occupancy differs from group leader (uc %d)" first))
+          rest)
+    m.Mapping.groups;
+  { checks = !checks; violations = List.rev !violations }
+
+let pp_report ppf r =
+  if ok r then Format.fprintf ppf "verification OK (%d checks)" r.checks
+  else begin
+    Format.fprintf ppf "@[<v>verification FAILED (%d checks, %d violations):@ " r.checks
+      (List.length r.violations);
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "uc %d flow %d->%d [%s]: %s@ " v.use_case v.src_core v.dst_core
+          v.kind v.detail)
+      r.violations;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,35 @@
+(** Analytic verification of a completed design — phase 4's
+    "NoC performance verification" (paper §3).
+
+    Guaranteed-throughput connections can be verified without
+    simulation: the TDMA reservation directly implies the delivered
+    bandwidth and a worst-case latency bound.  This module re-derives
+    both from the final resource state and cross-checks every
+    structural invariant of the mapping. *)
+
+type violation = {
+  use_case : int;
+  src_core : int;
+  dst_core : int;
+  kind : string;    (** short category, e.g. "bandwidth", "latency" *)
+  detail : string;
+}
+
+type report = {
+  checks : int;          (** number of individual checks executed *)
+  violations : violation list;
+}
+
+val ok : report -> bool
+
+val verify : Mapping.t -> Noc_traffic.Use_case.t list -> report
+(** Checks, per use-case and flow: a route exists and is unique; the
+    path is a connected switch chain matching the placement; reserved
+    slots deliver at least the required bandwidth; the worst-case
+    latency bound meets the constraint; the use-case's own slot tables
+    actually own the reserved slots; the per-use-case channel
+    dependency graph is deadlock-free; no switch hosts more cores than
+    it has NIs; and use-cases within one smooth-switching group have
+    identical slot-table occupancy (a shared configuration). *)
+
+val pp_report : Format.formatter -> report -> unit

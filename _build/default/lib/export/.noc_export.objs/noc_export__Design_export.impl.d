@@ -1,0 +1,1 @@
+lib/export/design_export.ml: Array Json List Noc_arch Noc_core Noc_traffic

@@ -1,0 +1,1 @@
+lib/export/design_export.mli: Json Noc_core

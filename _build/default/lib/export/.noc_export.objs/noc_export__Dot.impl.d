@@ -1,0 +1,1 @@
+lib/export/dot.ml: Array Buffer Format List Noc_arch Noc_core Printf String

@@ -1,0 +1,1 @@
+lib/export/dot.mli: Noc_core

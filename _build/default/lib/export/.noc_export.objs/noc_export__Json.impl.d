@@ -1,0 +1,1 @@
+lib/export/json.ml: Buffer Char Float List Printf String

@@ -1,0 +1,101 @@
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Route = Noc_arch.Route
+module Mapping = Noc_core.Mapping
+module DF = Noc_core.Design_flow
+module Verify = Noc_core.Verify
+module Use_case = Noc_traffic.Use_case
+
+let config_json (c : Config.t) =
+  Json.Obj
+    [
+      ("freq_mhz", Json.Float c.Config.freq_mhz);
+      ("link_width_bits", Json.Int c.Config.link_width_bits);
+      ("slots", Json.Int c.Config.slots);
+      ("slot_cycles", Json.Int c.Config.slot_cycles);
+      ("nis_per_switch", Json.Int c.Config.nis_per_switch);
+      ( "routing",
+        Json.String (match c.Config.routing with Config.Min_cost -> "min-cost" | Config.Xy -> "xy") );
+      ( "topology",
+        Json.String (match c.Config.topology with Mesh.Mesh -> "mesh" | Mesh.Torus -> "torus") );
+    ]
+
+let route_json (r : Route.t) =
+  Json.Obj
+    [
+      ("flow_id", Json.Int r.Route.flow_id);
+      ("use_case", Json.Int r.Route.use_case);
+      ("src_core", Json.Int r.Route.src_core);
+      ("dst_core", Json.Int r.Route.dst_core);
+      ("src_switch", Json.Int r.Route.src_switch);
+      ("dst_switch", Json.Int r.Route.dst_switch);
+      ("bandwidth_mbps", Json.Float r.Route.bandwidth);
+      ("service", Json.String (match r.Route.service with Route.Gt -> "gt" | Route.Be -> "be"));
+      ("links", Json.List (List.map (fun l -> Json.Int l) r.Route.links));
+      ("slot_starts", Json.List (List.map (fun s -> Json.Int s) r.Route.slot_starts));
+    ]
+
+let mapping (m : Mapping.t) =
+  let mesh = m.Mapping.mesh in
+  Json.Obj
+    [
+      ("config", config_json m.Mapping.config);
+      ( "mesh",
+        Json.Obj
+          [
+            ("width", Json.Int (Mesh.width mesh));
+            ("height", Json.Int (Mesh.height mesh));
+            ("switches", Json.Int (Mesh.switch_count mesh));
+            ("links", Json.Int (Mesh.link_count mesh));
+            ( "kind",
+              Json.String (match Mesh.kind mesh with Mesh.Mesh -> "mesh" | Mesh.Torus -> "torus")
+            );
+          ] );
+      ( "placement",
+        Json.List (Array.to_list (Array.map (fun s -> Json.Int s) m.Mapping.placement)) );
+      ("routes", Json.List (List.map route_json m.Mapping.routes));
+      ( "groups",
+        Json.List
+          (List.map (fun g -> Json.List (List.map (fun u -> Json.Int u) g)) m.Mapping.groups) );
+    ]
+
+let design (d : DF.t) =
+  let report = d.DF.report in
+  Json.Obj
+    [
+      ("name", Json.String d.DF.spec.DF.name);
+      ("base_use_cases", Json.Int (List.length d.DF.spec.DF.use_cases));
+      ( "use_cases",
+        Json.List
+          (List.map
+             (fun u ->
+               Json.Obj
+                 [
+                   ("id", Json.Int u.Use_case.id);
+                   ("name", Json.String u.Use_case.name);
+                   ("flows", Json.Int (Use_case.flow_count u));
+                   ("total_bandwidth_mbps", Json.Float (Use_case.total_bandwidth u));
+                 ])
+             d.DF.all_use_cases) );
+      ( "compounds",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("use_case", Json.Int c.Noc_core.Compound.use_case.Use_case.id);
+                   ( "members",
+                     Json.List (List.map (fun u -> Json.Int u) c.Noc_core.Compound.members) );
+                 ])
+             d.DF.compounds) );
+      ("mapping", mapping d.DF.mapping);
+      ( "verification",
+        Json.Obj
+          [
+            ("ok", Json.Bool (Verify.ok report));
+            ("checks", Json.Int report.Verify.checks);
+            ("violations", Json.Int (List.length report.Verify.violations));
+          ] );
+    ]
+
+let design_to_string ?(indent = 2) d = Json.to_string ~indent (design d)

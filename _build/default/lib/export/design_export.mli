@@ -1,0 +1,16 @@
+(** JSON export of a completed design.
+
+    The dump is self-contained: configuration, topology, placement,
+    per-use-case connections with their paths and slot reservations,
+    groups, and the verification verdict — everything a downstream
+    flow (floorplanning, documentation, visualisation) needs. *)
+
+val mapping : Noc_core.Mapping.t -> Json.t
+(** The mapping as a JSON value. *)
+
+val design : Noc_core.Design_flow.t -> Json.t
+(** The whole design-flow result (spec summary, compounds, groups,
+    mapping, verification). *)
+
+val design_to_string : ?indent:int -> Noc_core.Design_flow.t -> string
+(** [to_string (design d)], default pretty-printed with indent 2. *)

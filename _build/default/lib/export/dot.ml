@@ -1,0 +1,69 @@
+module Mesh = Noc_arch.Mesh
+module Mapping = Noc_core.Mapping
+module Resources = Noc_core.Resources
+
+let switch_label (m : Mapping.t) s =
+  let cores =
+    Array.to_list m.Mapping.placement
+    |> List.mapi (fun core sw -> (core, sw))
+    |> List.filter_map (fun (core, sw) -> if sw = s then Some (string_of_int core) else None)
+  in
+  let x, y = Mesh.coord m.Mapping.mesh s in
+  if cores = [] then Printf.sprintf "sw%d (%d,%d)" s x y
+  else Printf.sprintf "sw%d (%d,%d)\\ncores: %s" s x y (String.concat "," cores)
+
+let node_positions (m : Mapping.t) buf =
+  let mesh = m.Mapping.mesh in
+  for s = 0 to Mesh.switch_count mesh - 1 do
+    let x, y = Mesh.coord mesh s in
+    Buffer.add_string buf
+      (Printf.sprintf "  s%d [label=\"%s\", shape=box, pos=\"%d,%d!\"];\n" s
+         (switch_label m s) (2 * x) (-2 * y))
+  done
+
+let topology (m : Mapping.t) =
+  let mesh = m.Mapping.mesh in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "digraph noc {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  label=\"%s\";\n"
+       (Format.asprintf "%a" Mesh.pp mesh));
+  node_positions m buf;
+  for l = 0 to Mesh.link_count mesh - 1 do
+    let a, b = Mesh.link_endpoints mesh l in
+    (* draw each bidirectional pair once, as a double-headed edge *)
+    if a < b then
+      Buffer.add_string buf (Printf.sprintf "  s%d -> s%d [dir=both];\n" a b)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let heat_colour u =
+  (* green -> orange -> red as utilization grows *)
+  if u <= 0.0 then "gray80"
+  else if u < 0.3 then "forestgreen"
+  else if u < 0.6 then "orange"
+  else "red"
+
+let use_case (m : Mapping.t) ~use_case =
+  if use_case < 0 || use_case >= Array.length m.Mapping.states then
+    invalid_arg "Dot.use_case: use-case id out of range";
+  let mesh = m.Mapping.mesh in
+  let state = m.Mapping.states.(use_case) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph noc_use_case {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  label=\"use-case %d: %d connections\";\n" use_case
+       (List.length (Mapping.routes_of_use_case m use_case)));
+  node_positions m buf;
+  for l = 0 to Mesh.link_count mesh - 1 do
+    let a, b = Mesh.link_endpoints mesh l in
+    let u = Resources.utilization state l in
+    Buffer.add_string buf
+      (Printf.sprintf "  s%d -> s%d [color=%s, penwidth=%.1f, label=\"%.0f%%\"];\n" a b
+         (heat_colour u)
+         (1.0 +. (4.0 *. u))
+         (100.0 *. u))
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

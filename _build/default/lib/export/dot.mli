@@ -1,0 +1,15 @@
+(** Graphviz DOT views of a completed design.
+
+    Two pictures a NoC designer actually looks at: the topology with
+    the core placement, and one use-case's configuration with links
+    coloured by slot utilization. *)
+
+val topology : Noc_core.Mapping.t -> string
+(** The switch grid with each switch labelled by the cores placed on
+    it.  Renders with [dot -Tsvg] (uses [neato]-friendly positions). *)
+
+val use_case : Noc_core.Mapping.t -> use_case:int -> string
+(** One use-case's configuration: inter-switch links weighted and
+    coloured by their TDMA slot utilization in that use-case, plus the
+    connection list in the label.
+    @raise Invalid_argument on an out-of-range use-case id. *)

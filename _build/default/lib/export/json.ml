@@ -1,0 +1,213 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else if Float.is_nan x || Float.abs x = infinity then "null" (* JSON has no NaN/inf *)
+  else Printf.sprintf "%.12g" x
+
+let to_string ?(indent = 0) v =
+  let buf = Buffer.create 1024 in
+  let pad depth = if indent > 0 then Buffer.add_string buf (String.make (depth * indent) ' ') in
+  let nl () = if indent > 0 then Buffer.add_char buf '\n' in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float x -> Buffer.add_string buf (float_repr x)
+    | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          go (depth + 1) item)
+        items;
+      nl ();
+      pad depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          go (depth + 1) item)
+        fields;
+      nl ();
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* --- strict syntax validation ------------------------------------------- *)
+
+exception Bad of string
+
+let validate text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let error msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> error (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word =
+    String.iter (fun c -> expect c) word
+  in
+  let string_body () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> error "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> error "bad unicode escape"
+          done
+        | _ -> error "bad escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> error "control character in string"
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          saw := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !saw then error "expected digits"
+    in
+    digits ();
+    (match peek () with
+    | Some '.' ->
+      advance ();
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> string_body ()
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let rec fields () =
+          skip_ws ();
+          string_body ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ()
+          | Some '}' -> advance ()
+          | _ -> error "expected ',' or '}'"
+        in
+        fields ()
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let rec items () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items ()
+          | Some ']' -> advance ()
+          | _ -> error "expected ',' or ']'"
+        in
+        items ()
+      end
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> error "expected a value"
+  in
+  try
+    value ();
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing content at offset %d" !pos) else Ok ()
+  with Bad msg -> Error msg

@@ -1,0 +1,24 @@
+(** Minimal JSON construction and syntax checking.
+
+    A small value type with a serializer (correct string escaping,
+    locale-independent float printing) plus a strict syntax validator
+    used by the tests and available to consumers of exported files.
+    No external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Serialize; [indent > 0] pretty-prints with that step. *)
+
+val escape : string -> string
+(** JSON string escaping (quotes not included). *)
+
+val validate : string -> (unit, string) result
+(** Strict RFC-8259-style syntax check of a complete JSON document. *)

@@ -1,0 +1,1 @@
+lib/graph/components.ml: Array Intgraph List Stack

@@ -1,0 +1,37 @@
+let dfs_collect g seen start =
+  (* Iterative DFS with an explicit stack; marks [seen]. *)
+  let acc = ref [] in
+  let stack = Stack.create () in
+  Stack.push start stack;
+  while not (Stack.is_empty stack) do
+    let u = Stack.pop stack in
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      acc := u :: !acc;
+      Intgraph.iter_succ g u (fun v _ -> if not seen.(v) then Stack.push v stack)
+    end
+  done;
+  List.sort compare !acc
+
+let connected_components g =
+  if Intgraph.directed g then
+    invalid_arg "Components.connected_components: directed graph";
+  let n = Intgraph.node_count g in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then comps := dfs_collect g seen v :: !comps
+  done;
+  List.rev !comps
+
+let component_ids g =
+  let comps = connected_components g in
+  let ids = Array.make (Intgraph.node_count g) (-1) in
+  List.iteri (fun i comp -> List.iter (fun v -> ids.(v) <- i) comp) comps;
+  ids
+
+let reachable g start =
+  let seen = Array.make (Intgraph.node_count g) false in
+  dfs_collect g seen start
+
+let is_connected g = List.length (connected_components g) <= 1

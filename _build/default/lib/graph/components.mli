@@ -1,0 +1,22 @@
+(** Connected components by depth-first search.
+
+    This is the substrate of the paper's Algorithm 1 (use-case
+    grouping): vertices of the switching graph reachable from each
+    other must share one NoC configuration. *)
+
+val connected_components : Intgraph.t -> int list list
+(** Components of an undirected graph, each sorted increasingly; the
+    list of components is sorted by its smallest member.  Repeated DFS
+    from unvisited vertices, exactly as Algorithm 1 prescribes.
+    @raise Invalid_argument on a directed graph. *)
+
+val component_ids : Intgraph.t -> int array
+(** [component_ids g].(v) is the index of [v]'s component in the list
+    returned by [connected_components]. *)
+
+val reachable : Intgraph.t -> int -> int list
+(** Vertices reachable from a source (works on directed graphs too),
+    sorted increasingly. *)
+
+val is_connected : Intgraph.t -> bool
+(** True iff the undirected graph has at most one component. *)

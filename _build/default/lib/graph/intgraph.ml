@@ -1,0 +1,49 @@
+type t = {
+  directed : bool;
+  adj : (int * int) list array; (* per node, reversed insertion order *)
+  mutable edges : (int * int * int) list; (* (u, v, id), reversed *)
+  mutable edge_count : int;
+  mutable next_id : int;
+}
+
+let create ~directed ~nodes =
+  if nodes < 0 then invalid_arg "Intgraph.create: negative node count";
+  { directed; adj = Array.make nodes []; edges = []; edge_count = 0; next_id = 0 }
+
+let directed t = t.directed
+let node_count t = Array.length t.adj
+let edge_count t = t.edge_count
+
+let check_node t u =
+  if u < 0 || u >= Array.length t.adj then invalid_arg "Intgraph: node out of range"
+
+let add_edge t ?id u v =
+  check_node t u;
+  check_node t v;
+  let eid = match id with Some i -> i | None -> t.next_id in
+  t.next_id <- max t.next_id (eid + 1);
+  t.adj.(u) <- (v, eid) :: t.adj.(u);
+  if (not t.directed) && u <> v then t.adj.(v) <- (u, eid) :: t.adj.(v);
+  t.edges <- (u, v, eid) :: t.edges;
+  t.edge_count <- t.edge_count + 1;
+  eid
+
+let succ t u =
+  check_node t u;
+  List.rev t.adj.(u)
+
+let iter_succ t u f =
+  check_node t u;
+  List.iter (fun (v, eid) -> f v eid) (List.rev t.adj.(u))
+
+let degree t u =
+  check_node t u;
+  List.length t.adj.(u)
+
+let mem_edge t u v =
+  check_node t u;
+  check_node t v;
+  List.exists (fun (w, _) -> w = v) t.adj.(u)
+
+let fold_edges t ~init ~f =
+  List.fold_left (fun acc (u, v, eid) -> f acc u v eid) init (List.rev t.edges)

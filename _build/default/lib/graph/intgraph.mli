@@ -1,0 +1,44 @@
+(** Graphs over integer-labelled nodes [0 .. n-1].
+
+    A thin, allocation-conscious adjacency structure used for both the
+    undirected switching graph (paper §4) and the directed NoC link
+    graph.  Edges carry an integer payload (an edge id), so that
+    algorithms can look up per-edge state (residual bandwidth, slot
+    tables) stored elsewhere. *)
+
+type t
+
+val create : directed:bool -> nodes:int -> t
+(** A graph with [nodes] isolated vertices. *)
+
+val directed : t -> bool
+
+val node_count : t -> int
+
+val edge_count : t -> int
+(** Number of [add_edge] calls (an undirected edge counts once). *)
+
+val add_edge : t -> ?id:int -> int -> int -> int
+(** [add_edge g u v] adds an edge (and its reverse arc when the graph
+    is undirected) and returns its edge id.  When [id] is omitted, ids
+    are assigned consecutively from 0.  Self loops are allowed;
+    parallel edges get distinct ids. *)
+
+val succ : t -> int -> (int * int) list
+(** [succ g u] lists [(v, edge_id)] of outgoing arcs, in insertion
+    order. *)
+
+val iter_succ : t -> int -> (int -> int -> unit) -> unit
+(** [iter_succ g u f] applies [f v edge_id] over outgoing arcs without
+    building a list. *)
+
+val degree : t -> int -> int
+(** Out-degree. *)
+
+val mem_edge : t -> int -> int -> bool
+(** Is there an arc from [u] to [v]? *)
+
+val fold_edges : t -> init:'a -> f:('a -> int -> int -> int -> 'a) -> 'a
+(** [fold_edges g ~init ~f] folds [f acc u v edge_id] over arcs as
+    inserted; an undirected edge is visited once, in the orientation it
+    was added. *)

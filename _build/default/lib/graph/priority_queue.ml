@@ -1,0 +1,68 @@
+type 'a entry = { prio : float; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let fresh = Array.make ncap t.data.(0) in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.data.(i).prio < t.data.(parent).prio then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.data.(l).prio < t.data.(!smallest).prio then smallest := l;
+  if r < t.size && t.data.(r).prio < t.data.(!smallest).prio then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~priority value =
+  let entry = { prio = priority; value } in
+  if Array.length t.data = 0 then t.data <- Array.make 8 entry;
+  grow t;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek_min t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+
+let clear t = t.size <- 0

@@ -1,0 +1,23 @@
+(** Mutable binary min-heap keyed by float priorities.
+
+    Used as the frontier of Dijkstra's algorithm.  Decrease-key is
+    handled by lazy deletion: push the element again with the smaller
+    priority and skip stale pops on the caller's side (Dijkstra does
+    this by checking the settled set). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> priority:float -> 'a -> unit
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element. *)
+
+val peek_min : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,63 @@
+type path = { nodes : int list; edges : int list; cost : float }
+
+(* Dijkstra with lazy-deletion heap.  parent.(v) = (u, edge) used to
+   reach v on the current best path. *)
+let dijkstra_internal g ~cost ~source ~target =
+  let n = Intgraph.node_count g in
+  if source < 0 || source >= n then invalid_arg "Shortest_path: bad source";
+  let dist = Array.make n infinity in
+  let parent_node = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Priority_queue.create () in
+  dist.(source) <- 0.0;
+  Priority_queue.push heap ~priority:0.0 source;
+  let stop = ref false in
+  while (not !stop) && not (Priority_queue.is_empty heap) do
+    match Priority_queue.pop_min heap with
+    | None -> stop := true
+    | Some (d, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        (match target with Some t when t = u -> stop := true | _ -> ());
+        if not !stop then
+          Intgraph.iter_succ g u (fun v eid ->
+              if not settled.(v) then
+                match cost ~edge:eid ~src:u ~dst:v with
+                | None -> ()
+                | Some c ->
+                  if c < 0.0 then invalid_arg "Shortest_path: negative cost";
+                  let nd = d +. c in
+                  if nd < dist.(v) then begin
+                    dist.(v) <- nd;
+                    parent_node.(v) <- u;
+                    parent_edge.(v) <- eid;
+                    Priority_queue.push heap ~priority:nd v
+                  end)
+      end
+  done;
+  (dist, parent_node, parent_edge)
+
+let rebuild ~source ~target dist parent_node parent_edge =
+  if dist.(target) = infinity then None
+  else begin
+    let rec walk v nodes edges =
+      if v = source then (v :: nodes, edges)
+      else walk parent_node.(v) (v :: nodes) (parent_edge.(v) :: edges)
+    in
+    let nodes, edges = walk target [] [] in
+    Some { nodes; edges; cost = dist.(target) }
+  end
+
+let dijkstra g ~cost ~source ~target =
+  let n = Intgraph.node_count g in
+  if target < 0 || target >= n then invalid_arg "Shortest_path: bad target";
+  let dist, pnode, pedge = dijkstra_internal g ~cost ~source ~target:(Some target) in
+  rebuild ~source ~target dist pnode pedge
+
+let dijkstra_all g ~cost ~source =
+  let dist, _, pedge = dijkstra_internal g ~cost ~source ~target:None in
+  (dist, pedge)
+
+let hop_path g ~source ~target =
+  dijkstra g ~cost:(fun ~edge:_ ~src:_ ~dst:_ -> Some 1.0) ~source ~target

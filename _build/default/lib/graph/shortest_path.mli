@@ -1,0 +1,37 @@
+(** Shortest paths with pluggable, state-dependent edge costs.
+
+    The unified mapping algorithm (paper §5) routes every flow on the
+    least-cost path where the cost of a link depends on the residual
+    bandwidth and slot state of the use-case being routed.  Passing the
+    cost as a function keeps this module independent of the NoC
+    resource bookkeeping. *)
+
+type path = {
+  nodes : int list;  (** visited nodes, source first, destination last *)
+  edges : int list;  (** edge ids along the path, in travel order *)
+  cost : float;      (** total accumulated cost *)
+}
+
+val dijkstra :
+  Intgraph.t ->
+  cost:(edge:int -> src:int -> dst:int -> float option) ->
+  source:int ->
+  target:int ->
+  path option
+(** Least-cost path from [source] to [target].  [cost] returns [None]
+    to declare an arc unusable (e.g. not enough residual bandwidth),
+    otherwise a non-negative cost.  Returns [None] when the target is
+    unreachable through usable arcs. *)
+
+val dijkstra_all :
+  Intgraph.t ->
+  cost:(edge:int -> src:int -> dst:int -> float option) ->
+  source:int ->
+  float array * int array
+(** Single-source variant.  Returns [(dist, parent_edge)], where
+    [dist.(v)] is [infinity] for unreachable [v] and [parent_edge.(v)]
+    is the edge id used to reach [v] ([-1] for the source and
+    unreachable nodes). *)
+
+val hop_path : Intgraph.t -> source:int -> target:int -> path option
+(** Unweighted (BFS) shortest path: every usable arc costs 1. *)

@@ -1,0 +1,1 @@
+lib/power/area_model.ml: Array Noc_arch Noc_core Noc_graph Printf

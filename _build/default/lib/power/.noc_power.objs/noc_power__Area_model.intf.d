@@ -1,0 +1,1 @@
+lib/power/area_model.mli: Noc_arch Noc_core Noc_util

@@ -1,0 +1,1 @@
+lib/power/design_space.ml: Area_model List Noc_arch Noc_core Noc_util Power_model Printf

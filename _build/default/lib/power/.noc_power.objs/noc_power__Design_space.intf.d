@@ -1,0 +1,1 @@
+lib/power/design_space.mli: Noc_arch Noc_traffic Noc_util

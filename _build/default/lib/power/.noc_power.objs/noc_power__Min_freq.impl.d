@@ -1,0 +1,1 @@
+lib/power/min_freq.ml: List Noc_arch Noc_core Noc_traffic

@@ -1,0 +1,1 @@
+lib/power/min_freq.mli: Noc_arch Noc_core Noc_traffic Noc_util

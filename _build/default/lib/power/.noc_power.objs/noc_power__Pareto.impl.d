@@ -1,0 +1,1 @@
+lib/power/pareto.ml: Area_model List Noc_arch Noc_core Noc_util

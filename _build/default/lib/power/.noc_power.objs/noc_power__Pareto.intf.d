@@ -1,0 +1,1 @@
+lib/power/pareto.mli: Noc_arch Noc_traffic Noc_util

@@ -1,0 +1,1 @@
+lib/power/power_model.ml: Area_model Dvfs Float Hashtbl List Noc_arch Noc_core Option

@@ -1,0 +1,49 @@
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+
+let f_max_mhz = 2600.0
+
+(* Calibration (mm2, 130 nm class):
+   - crossbar wiring/muxing grows with arity^2,
+   - per-port buffering and the slot table grow linearly,
+   - timing-driven sizing multiplies cell area as f approaches f_max
+     (a 1/(1 - (f/fmax)^2)-style blow-up, capped by f < f_max). *)
+let crossbar_mm2_per_port2 = 0.0022
+let port_mm2 = 0.008
+let slot_mm2 = 0.0009
+let base_mm2 = 0.02
+
+let timing_factor ~freq_mhz =
+  let x = freq_mhz /. f_max_mhz in
+  1.0 +. (0.9 *. (x ** 2.0) /. (1.0 -. (x ** 2.0) +. 0.35))
+
+let switch_area ~config ~arity =
+  if arity <= 0 then invalid_arg "Area_model.switch_area: arity must be positive";
+  let f = config.Config.freq_mhz in
+  if f > f_max_mhz then
+    invalid_arg (Printf.sprintf "Area_model: %.0f MHz exceeds the %.0f MHz model limit" f f_max_mhz);
+  let a = float_of_int arity in
+  let logic =
+    base_mm2
+    +. (crossbar_mm2_per_port2 *. a *. a)
+    +. (port_mm2 *. a)
+    +. (slot_mm2 *. float_of_int config.Config.slots *. a)
+  in
+  logic *. timing_factor ~freq_mhz:f
+
+let switch_arity (m : Noc_core.Mapping.t) s =
+  let mesh = m.Noc_core.Mapping.mesh in
+  let links = Noc_graph.Intgraph.degree (Mesh.graph mesh) s in
+  let nis = Array.fold_left (fun acc sw -> if sw = s then acc + 1 else acc) 0 m.Noc_core.Mapping.placement in
+  links + nis
+
+let noc_area (m : Noc_core.Mapping.t) =
+  let mesh = m.Noc_core.Mapping.mesh in
+  let config = m.Noc_core.Mapping.config in
+  let total = ref 0.0 in
+  for s = 0 to Mesh.switch_count mesh - 1 do
+    (* Every switch needs at least one port to exist in the layout. *)
+    let arity = max 1 (switch_arity m s) in
+    total := !total +. switch_area ~config ~arity
+  done;
+  !total

@@ -1,0 +1,29 @@
+(** Analytic switch-area model (0.13 um class).
+
+    Substitutes the paper's back-annotated layout data (Fig 7a): the
+    drivers of switch area are the crossbar (quadratic in port count),
+    the TDMA slot tables and buffers (linear in slot count and ports),
+    and timing-driven sizing, which inflates cells superlinearly as the
+    clock approaches the achievable maximum.  Constants are calibrated
+    so that a 5-port, 16-slot switch at 500 MHz lands near the 0.175
+    mm2 published for Aethereal-class switches in 130 nm. *)
+
+val f_max_mhz : Noc_util.Units.frequency
+(** Highest clock the model allows (2.6 GHz; the Fig 7a sweep stops at
+    2 GHz, where sizing inflation is noticeable but not pathological). *)
+
+val switch_area :
+  config:Noc_arch.Noc_config.t -> arity:int -> Noc_util.Units.area
+(** Area of one switch with [arity] ports (inter-switch links plus NI
+    ports) at the configuration's frequency.
+    @raise Invalid_argument when the frequency exceeds {!f_max_mhz} or
+    the arity is not positive. *)
+
+val switch_arity : Noc_core.Mapping.t -> int -> int
+(** Ports of a switch in a completed design: its directed outgoing
+    inter-switch links plus the NIs placed on it. *)
+
+val noc_area : Noc_core.Mapping.t -> Noc_util.Units.area
+(** Total switch area of the designed NoC (the paper's Fig 7a metric:
+    the sum of the area of all switches; NI area is accounted to the
+    cores). *)

@@ -1,0 +1,76 @@
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Mapping = Noc_core.Mapping
+
+type axes = {
+  frequencies : Noc_util.Units.frequency list;
+  slot_counts : int list;
+  topologies : Mesh.kind list;
+}
+
+let default_axes =
+  { frequencies = [ 250.0; 500.0; 1000.0 ]; slot_counts = [ 16; 32; 64 ]; topologies = [ Mesh.Mesh ] }
+
+type point = {
+  freq_mhz : Noc_util.Units.frequency;
+  slots : int;
+  topology : Mesh.kind;
+  switches : int option;
+  area_mm2 : Noc_util.Units.area option;
+  power_mw : float option;
+}
+
+let explore ?(axes = default_axes) ~config ~groups use_cases =
+  let run freq slots topology =
+    let cfg = { config with Config.freq_mhz = freq; slots; topology } in
+    match Mapping.map_design ~config:cfg ~groups use_cases with
+    | Ok m ->
+      {
+        freq_mhz = freq;
+        slots;
+        topology;
+        switches = Some (Mapping.switch_count m);
+        area_mm2 = Some (Area_model.noc_area m);
+        power_mw = Some (Power_model.noc_power m).Power_model.total_mw;
+      }
+    | Error _ ->
+      { freq_mhz = freq; slots; topology; switches = None; area_mm2 = None; power_mw = None }
+  in
+  List.concat_map
+    (fun topology ->
+      List.concat_map
+        (fun slots -> List.map (fun f -> run f slots topology) (List.sort compare axes.frequencies))
+        (List.sort compare axes.slot_counts))
+    axes.topologies
+
+let dominates a b =
+  (* a dominates b in (area, power) *)
+  match (a.area_mm2, a.power_mw, b.area_mm2, b.power_mw) with
+  | Some aa, Some ap, Some ba, Some bp -> aa <= ba && ap <= bp && (aa < ba || ap < bp)
+  | _ -> false
+
+let pareto points =
+  let feasible = List.filter (fun p -> p.switches <> None) points in
+  List.filter (fun p -> not (List.exists (fun q -> dominates q p) feasible)) feasible
+
+let print points =
+  let front = pareto points in
+  let on_front p = List.memq p front in
+  let t =
+    Noc_util.Ascii_table.create
+      ~header:[ "topology"; "slots"; "freq (MHz)"; "switches"; "area (mm2)"; "power (mW)"; "pareto" ]
+  in
+  List.iter
+    (fun p ->
+      Noc_util.Ascii_table.add_row t
+        [
+          (match p.topology with Mesh.Mesh -> "mesh" | Mesh.Torus -> "torus");
+          string_of_int p.slots;
+          Printf.sprintf "%.0f" p.freq_mhz;
+          (match p.switches with Some s -> string_of_int s | None -> "infeasible");
+          (match p.area_mm2 with Some a -> Printf.sprintf "%.3f" a | None -> "-");
+          (match p.power_mw with Some w -> Printf.sprintf "%.1f" w | None -> "-");
+          (if p.switches <> None && on_front p then "*" else "");
+        ])
+    points;
+  Noc_util.Ascii_table.print t

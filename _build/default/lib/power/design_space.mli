@@ -1,0 +1,43 @@
+(** Multi-knob design-space exploration.
+
+    Generalises the Fig 7(a) frequency sweep: the designer picks
+    candidate frequencies, TDMA slot-table sizes and grid families, and
+    gets every feasible design point with its NoC size, switch area and
+    power — plus the Pareto-optimal subset over (area, power).  This is
+    the "choose the optimum design point based on the objectives of the
+    designer" step the paper leaves to the reader (§6.3). *)
+
+type axes = {
+  frequencies : Noc_util.Units.frequency list;
+  slot_counts : int list;
+  topologies : Noc_arch.Mesh.kind list;
+}
+
+val default_axes : axes
+(** Frequencies 250/500/1000 MHz, 16/32/64 slots, mesh only. *)
+
+type point = {
+  freq_mhz : Noc_util.Units.frequency;
+  slots : int;
+  topology : Noc_arch.Mesh.kind;
+  switches : int option;            (** [None] = infeasible *)
+  area_mm2 : Noc_util.Units.area option;
+  power_mw : float option;          (** design-point power *)
+}
+
+val explore :
+  ?axes:axes ->
+  config:Noc_arch.Noc_config.t ->
+  groups:int list list ->
+  Noc_traffic.Use_case.t list ->
+  point list
+(** Run the design flow at every axis combination (other knobs from
+    [config]); points come out in a deterministic axis order. *)
+
+val pareto : point list -> point list
+(** Feasible points not dominated in (area, power): a point is dropped
+    when another has area and power both no worse and one strictly
+    better. *)
+
+val print : point list -> unit
+(** Render the space (and mark the Pareto members) as a table. *)

@@ -1,0 +1,24 @@
+let voltage_ratio ~freq ~base =
+  if freq <= 0.0 || base <= 0.0 then invalid_arg "Dvfs.voltage_ratio: non-positive frequency";
+  sqrt (freq /. base)
+
+let power_ratio ~freq ~base =
+  if freq <= 0.0 || base <= 0.0 then invalid_arg "Dvfs.power_ratio: non-positive frequency";
+  (freq /. base) ** 2.0
+
+let savings ~f_design ~epochs =
+  if epochs = [] then invalid_arg "Dvfs.savings: no epochs";
+  List.iter
+    (fun (f, w) ->
+      if w <= 0.0 then invalid_arg "Dvfs.savings: non-positive weight";
+      if f <= 0.0 then invalid_arg "Dvfs.savings: non-positive frequency";
+      if f > f_design +. 1e-9 then
+        invalid_arg "Dvfs.savings: an epoch frequency exceeds the design point")
+    epochs;
+  let total_w = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 epochs in
+  let scaled =
+    List.fold_left (fun acc (f, w) -> acc +. (w *. power_ratio ~freq:f ~base:f_design)) 0.0 epochs
+  in
+  1.0 -. (scaled /. total_w)
+
+let savings_percent ~f_design ~epochs = 100.0 *. savings ~f_design ~epochs

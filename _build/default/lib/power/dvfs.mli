@@ -1,0 +1,32 @@
+(** Dynamic voltage and frequency scaling model (paper §6.4).
+
+    The paper uses a conservative model where the *square of the
+    voltage scales linearly with frequency* [24]; dynamic power
+    P = C V^2 f therefore scales with f^2.  When a use-case needs only
+    a fraction of the design-point frequency, running its epoch at that
+    frequency (and the matching voltage) saves the corresponding
+    power. *)
+
+val voltage_ratio :
+  freq:Noc_util.Units.frequency -> base:Noc_util.Units.frequency -> float
+(** V(freq)/V(base) under the conservative model: sqrt(freq/base). *)
+
+val power_ratio :
+  freq:Noc_util.Units.frequency -> base:Noc_util.Units.frequency -> float
+(** P(freq)/P(base) = (freq/base)^2. *)
+
+val savings :
+  f_design:Noc_util.Units.frequency ->
+  epochs:(Noc_util.Units.frequency * float) list ->
+  float
+(** Fractional power saving of DVS/DFS over always running at
+    [f_design].  [epochs] lists (frequency, time weight) per use-case
+    epoch; weights need not be normalised.  Result in [0, 1).
+    @raise Invalid_argument on empty epochs, non-positive weights, or
+    a frequency above [f_design]. *)
+
+val savings_percent :
+  f_design:Noc_util.Units.frequency ->
+  epochs:(Noc_util.Units.frequency * float) list ->
+  float
+(** [savings] as a percentage, the unit of the paper's Fig 7b. *)

@@ -1,0 +1,35 @@
+module Config = Noc_arch.Noc_config
+module Use_case = Noc_traffic.Use_case
+module Mapping = Noc_core.Mapping
+
+let default_grid = List.init 80 (fun i -> 25.0 *. float_of_int (i + 1))
+
+(* The grid is tried in increasing order; a binary search would be
+   wrong because TDMA feasibility is not perfectly monotonic in
+   frequency (slot granularity effects), and the grids are tiny. *)
+let search grid feasible =
+  List.find_opt feasible (List.sort compare grid)
+
+let for_use_case_on_design ?(grid = default_grid) ~design use_case =
+  let config = design.Mapping.config in
+  let mesh = design.Mapping.mesh in
+  let placement = design.Mapping.placement in
+  let renamed = Use_case.rename use_case ~id:0 ~name:use_case.Use_case.name in
+  let feasible f =
+    f <= config.Config.freq_mhz +. 1e-9
+    &&
+    let cfg = Config.with_freq config f in
+    match Mapping.map_with_placement ~config:cfg ~mesh ~groups:[ [ 0 ] ] ~placement [ renamed ] with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  search grid feasible
+
+let for_use_cases_on_mesh ?(grid = default_grid) ~config ~mesh ~groups use_cases =
+  let feasible f =
+    let cfg = Config.with_freq config f in
+    match Mapping.map_on_mesh ~config:cfg ~mesh ~groups use_cases with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  search grid feasible

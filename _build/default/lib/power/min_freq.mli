@@ -1,0 +1,31 @@
+(** Minimum feasible NoC frequency searches.
+
+    Used twice by the evaluation: per use-case minimum frequency on the
+    already-designed NoC (input to DVS/DFS, Fig 7b), and minimum
+    frequency at which a fixed-size mesh supports a set of (possibly
+    compound) use-cases (Fig 7c). *)
+
+val default_grid : Noc_util.Units.frequency list
+(** Candidate DVS levels: 25 MHz steps from 25 MHz to 2000 MHz. *)
+
+val for_use_case_on_design :
+  ?grid:Noc_util.Units.frequency list ->
+  design:Noc_core.Mapping.t ->
+  Noc_traffic.Use_case.t ->
+  Noc_util.Units.frequency option
+(** Smallest grid frequency at which the single use-case routes on the
+    designed mesh with the designed core placement (paths and slot
+    tables may be re-configured, which is exactly what the use-case
+    switching window allows).  [None] when even the fastest level
+    fails.  Levels above the design frequency are not tried — the
+    result is always a down-scaling. *)
+
+val for_use_cases_on_mesh :
+  ?grid:Noc_util.Units.frequency list ->
+  config:Noc_arch.Noc_config.t ->
+  mesh:Noc_arch.Mesh.t ->
+  groups:int list list ->
+  Noc_traffic.Use_case.t list ->
+  Noc_util.Units.frequency option
+(** Smallest grid frequency at which the whole use-case set maps onto
+    the given mesh (placement free).  [None] when no level fits. *)

@@ -1,0 +1,35 @@
+module Config = Noc_arch.Noc_config
+module Mapping = Noc_core.Mapping
+
+type point = {
+  freq_mhz : Noc_util.Units.frequency;
+  switches : int option;
+  area_mm2 : Noc_util.Units.area option;
+}
+
+let default_frequencies =
+  [ 100.0; 125.0; 150.0; 175.0; 200.0; 250.0; 300.0; 350.0; 400.0; 500.0; 650.0; 800.0; 1000.0; 1250.0; 1500.0; 1750.0; 2000.0 ]
+
+let sweep ?(frequencies = default_frequencies) ~config ~groups use_cases =
+  let run f =
+    let cfg = Config.with_freq config f in
+    match Mapping.map_design ~config:cfg ~groups use_cases with
+    | Ok m ->
+      { freq_mhz = f; switches = Some (Mapping.switch_count m); area_mm2 = Some (Area_model.noc_area m) }
+    | Error _ -> { freq_mhz = f; switches = None; area_mm2 = None }
+  in
+  List.map run (List.sort compare frequencies)
+
+let pareto_front points =
+  let feasible =
+    List.filter_map
+      (fun p -> match p.area_mm2 with Some a -> Some (p, a) | None -> None)
+      points
+  in
+  let dominated (p, a) =
+    List.exists
+      (fun (q, b) -> q.freq_mhz <= p.freq_mhz && b < a)
+      feasible
+  in
+  List.filter_map (fun (p, a) -> if dominated (p, a) then None else Some p)
+    (List.map (fun (p, a) -> (p, a)) feasible)

@@ -1,0 +1,30 @@
+(** Area-frequency trade-off exploration (paper §6.3, Fig 7a).
+
+    For each candidate operating frequency the design flow is re-run;
+    higher frequencies give each link more bandwidth, so fewer switches
+    satisfy the constraints, but timing-driven sizing makes each switch
+    bigger.  The resulting (frequency, area) curve is the designer's
+    Pareto front. *)
+
+type point = {
+  freq_mhz : Noc_util.Units.frequency;
+  switches : int option;   (** [None] when no mesh up to the cap maps *)
+  area_mm2 : Noc_util.Units.area option;
+}
+
+val default_frequencies : Noc_util.Units.frequency list
+(** The Fig 7a sweep: 100 MHz to 2 GHz. *)
+
+val sweep :
+  ?frequencies:Noc_util.Units.frequency list ->
+  config:Noc_arch.Noc_config.t ->
+  groups:int list list ->
+  Noc_traffic.Use_case.t list ->
+  point list
+(** Run the design flow at every frequency (other configuration knobs
+    taken from [config]) and record NoC size and total switch area. *)
+
+val pareto_front : point list -> point list
+(** The non-dominated subset: points where no other point has both a
+    lower-or-equal frequency and a strictly smaller area (infeasible
+    points are dropped). *)

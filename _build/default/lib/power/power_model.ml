@@ -1,0 +1,51 @@
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Route = Noc_arch.Route
+module Mapping = Noc_core.Mapping
+
+type breakdown = {
+  switch_mw : float;
+  traffic_mw : float;
+  total_mw : float;
+}
+
+(* 130 nm class calibration: a 5-port switch clocked at 500 MHz burns
+   a few mW idle; moving data costs on the order of pJ per byte-hop. *)
+let switch_mw_per_port_at_500 = 0.9
+let pj_per_byte_hop = 3.0
+
+(* The busiest use-case dominates the design-point power; per use-case
+   traffic is the bandwidth-weighted hop count of its routes. *)
+let peak_traffic_mbyte_hops (m : Mapping.t) =
+  let per_uc = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let cur = Option.value (Hashtbl.find_opt per_uc r.Route.use_case) ~default:0.0 in
+      Hashtbl.replace per_uc r.Route.use_case
+        (cur +. (r.Route.bandwidth *. float_of_int (Route.hops r))))
+    m.Mapping.routes;
+  Hashtbl.fold (fun _ v acc -> Float.max v acc) per_uc 0.0
+
+let noc_power ?freq (m : Mapping.t) =
+  let config = m.Mapping.config in
+  let f_design = config.Config.freq_mhz in
+  let f = Option.value freq ~default:f_design in
+  let scale = Dvfs.power_ratio ~freq:f ~base:500.0 in
+  let ports = ref 0 in
+  for s = 0 to Mesh.switch_count m.Mapping.mesh - 1 do
+    ports := !ports + max 1 (Area_model.switch_arity m s)
+  done;
+  let switch_mw = float_of_int !ports *. switch_mw_per_port_at_500 *. scale in
+  (* MB/s x hops x pJ/(byte.hop) = uW; voltage scaling applies to the
+     data-path energy as V^2 = f/500. *)
+  let traffic_mw =
+    peak_traffic_mbyte_hops m *. pj_per_byte_hop /. 1000.0 *. (f /. 500.0)
+  in
+  { switch_mw; traffic_mw; total_mw = switch_mw +. traffic_mw }
+
+let with_dvfs ~design ~epochs =
+  if epochs = [] then invalid_arg "Power_model.with_dvfs: no epochs";
+  let total_w = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 epochs in
+  List.fold_left
+    (fun acc (f, w) -> acc +. (w /. total_w *. (noc_power ~freq:f design).total_mw))
+    0.0 epochs

@@ -1,0 +1,27 @@
+(** NoC power model.
+
+    Dynamic power of the network at its design point, decomposed into
+    switch idle/clocking power (proportional to switch count and
+    frequency-squared under the DVS voltage model) and traffic power
+    (energy per byte-hop moved).  Absolute numbers are indicative of a
+    130 nm design; the evaluation only relies on ratios. *)
+
+type breakdown = {
+  switch_mw : float;   (** clock/idle power of the switches *)
+  traffic_mw : float;  (** data movement power *)
+  total_mw : float;
+}
+
+val noc_power :
+  ?freq:Noc_util.Units.frequency -> Noc_core.Mapping.t -> breakdown
+(** Power of a designed NoC when operated at [freq] (default: its
+    design frequency), carrying the traffic of its busiest use-case.
+    Voltage follows the conservative DVS model, so power scales with
+    the square of frequency. *)
+
+val with_dvfs :
+  design:Noc_core.Mapping.t ->
+  epochs:(Noc_util.Units.frequency * float) list ->
+  float
+(** Time-weighted average power (mW) when each use-case epoch runs at
+    its own frequency. *)

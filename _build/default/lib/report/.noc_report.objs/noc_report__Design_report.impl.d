@@ -1,0 +1,1 @@
+lib/report/design_report.ml: Array Float Format List Noc_arch Noc_core Noc_power Noc_traffic Noc_util Option Printf String

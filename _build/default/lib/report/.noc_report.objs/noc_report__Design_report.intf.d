@@ -1,0 +1,1 @@
+lib/report/design_report.mli: Noc_arch Noc_core

@@ -1,0 +1,240 @@
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Route = Noc_arch.Route
+module Ni_buffer = Noc_arch.Ni_buffer
+module Flow = Noc_traffic.Flow
+module Use_case = Noc_traffic.Use_case
+module Mapping = Noc_core.Mapping
+module DF = Noc_core.Design_flow
+module Verify = Noc_core.Verify
+module Reconfig = Noc_core.Reconfig
+module Resources = Noc_core.Resources
+module Table = Noc_util.Ascii_table
+
+type flow_line = {
+  use_case : int;
+  use_case_name : string;
+  src : int;
+  dst : int;
+  service : Route.service;
+  bandwidth_mbps : float;
+  granted_mbps : float;
+  hops : int;
+  latency_bound_ns : float;
+  latency_req_ns : float;
+  latency_slack_ns : float option;
+}
+
+type use_case_line = {
+  id : int;
+  name : string;
+  flows : int;
+  total_mbps : float;
+  mean_link_utilization : float;
+  max_link_utilization : float;
+}
+
+type dvfs_section = {
+  f_design_mhz : float;
+  epochs : (string * float) list;
+  savings_pct : float;
+}
+
+type t = {
+  design_name : string;
+  switches : int;
+  mesh : string;
+  area_mm2 : float;
+  power_mw : float;
+  groups : int list list;
+  flow_lines : flow_line list;
+  use_case_lines : use_case_line list;
+  buffer_words_per_core : int array;
+  buffer_words_total : int;
+  worst_switching : Reconfig.cost option;
+  dvfs : dvfs_section option;
+  verified : bool;
+  checks : int;
+}
+
+let flow_line ~config ~names (u : Use_case.t) (f : Flow.t) (r : Route.t) =
+  let granted =
+    if r.Route.service = Route.Be then 0.0
+    else if r.Route.links = [] then Config.link_capacity config
+    else float_of_int (List.length r.Route.slot_starts) *. Config.slot_bandwidth config
+  in
+  let bound = Route.worst_case_latency_ns ~config r in
+  {
+    use_case = u.Use_case.id;
+    use_case_name = names u.Use_case.id;
+    src = f.Flow.src;
+    dst = f.Flow.dst;
+    service = r.Route.service;
+    bandwidth_mbps = f.Flow.bandwidth;
+    granted_mbps = granted;
+    hops = Route.hops r;
+    latency_bound_ns = bound;
+    latency_req_ns = f.Flow.latency_ns;
+    latency_slack_ns =
+      (if f.Flow.latency_ns = infinity then None else Some (f.Flow.latency_ns -. bound));
+  }
+
+let dvfs_of d =
+  let m = d.DF.mapping in
+  let epochs =
+    List.map
+      (fun u ->
+        let f =
+          Option.value
+            (Noc_power.Min_freq.for_use_case_on_design ~design:m u)
+            ~default:m.Mapping.config.Config.freq_mhz
+        in
+        (u.Use_case.name, f))
+      d.DF.all_use_cases
+  in
+  let f_design = List.fold_left (fun acc (_, f) -> Float.max acc f) 0.0 epochs in
+  if f_design <= 0.0 then None
+  else
+    Some
+      {
+        f_design_mhz = f_design;
+        epochs;
+        savings_pct =
+          Noc_power.Dvfs.savings_percent ~f_design
+            ~epochs:(List.map (fun (_, f) -> (f, 1.0)) epochs);
+      }
+
+let build ?(dvfs = true) (d : DF.t) =
+  let m = d.DF.mapping in
+  let config = m.Mapping.config in
+  let names id = (List.nth d.DF.all_use_cases id).Use_case.name in
+  let flow_lines =
+    List.concat_map
+      (fun u ->
+        List.filter_map
+          (fun f ->
+            let service = if Flow.is_guaranteed f then Route.Gt else Route.Be in
+            let route =
+              List.find_opt
+                (fun r ->
+                  r.Route.use_case = u.Use_case.id
+                  && r.Route.src_core = f.Flow.src
+                  && r.Route.dst_core = f.Flow.dst
+                  && r.Route.service = service)
+                m.Mapping.routes
+            in
+            Option.map (flow_line ~config ~names u f) route)
+          u.Use_case.flows)
+      d.DF.all_use_cases
+  in
+  let use_case_lines =
+    List.map
+      (fun u ->
+        let state = m.Mapping.states.(u.Use_case.id) in
+        {
+          id = u.Use_case.id;
+          name = u.Use_case.name;
+          flows = Use_case.flow_count u;
+          total_mbps = Use_case.total_bandwidth u;
+          mean_link_utilization = Resources.mean_utilization state;
+          max_link_utilization = Resources.max_utilization state;
+        })
+      d.DF.all_use_cases
+  in
+  (* NI buffers must hold the worst use-case per core: size each core's
+     NI for the maximum over the use-case configurations. *)
+  let cores = Array.length m.Mapping.placement in
+  let buffer_words_per_core = Array.make cores 0 in
+  List.iter
+    (fun u ->
+      let per_uc =
+        Ni_buffer.per_core_totals ~config ~cores
+          (Mapping.routes_of_use_case m u.Use_case.id)
+      in
+      Array.iteri (fun c w -> if w > buffer_words_per_core.(c) then buffer_words_per_core.(c) <- w) per_uc)
+    d.DF.all_use_cases;
+  {
+    design_name = d.DF.spec.DF.name;
+    switches = Mapping.switch_count m;
+    mesh = Format.asprintf "%a" Mesh.pp m.Mapping.mesh;
+    area_mm2 = Noc_power.Area_model.noc_area m;
+    power_mw = (Noc_power.Power_model.noc_power m).Noc_power.Power_model.total_mw;
+    groups = m.Mapping.groups;
+    flow_lines;
+    use_case_lines;
+    buffer_words_per_core;
+    buffer_words_total = Array.fold_left ( + ) 0 buffer_words_per_core;
+    worst_switching = Reconfig.worst m;
+    dvfs = (if dvfs then dvfs_of d else None);
+    verified = DF.verified d;
+    checks = d.DF.report.Verify.checks;
+  }
+
+let min_slack_ns t =
+  List.fold_left
+    (fun acc line ->
+      match (acc, line.latency_slack_ns) with
+      | None, s -> s
+      | Some a, Some s -> Some (Float.min a s)
+      | Some a, None -> Some a)
+    None t.flow_lines
+
+let print t =
+  Printf.printf "Design report: %s\n" t.design_name;
+  Printf.printf "  NoC: %s, area %.3f mm2, power %.1f mW\n" t.mesh t.area_mm2 t.power_mw;
+  Printf.printf "  verification: %s (%d checks)\n"
+    (if t.verified then "OK" else "FAILED")
+    t.checks;
+  Printf.printf "  groups sharing one configuration: %s\n"
+    (String.concat " | "
+       (List.map (fun g -> "{" ^ String.concat "," (List.map string_of_int g) ^ "}") t.groups));
+  (match t.worst_switching with
+  | Some c ->
+    Printf.printf "  worst use-case switching: uc %d <-> uc %d, %d slot writes, %.1f ns\n"
+      c.Reconfig.from_uc c.Reconfig.to_uc c.Reconfig.slot_writes c.Reconfig.reconfiguration_ns
+  | None -> ());
+  (match t.dvfs with
+  | Some s ->
+    Printf.printf "  DVS/DFS: design point %.0f MHz, saving %.1f %% (%s)\n" s.f_design_mhz
+      s.savings_pct
+      (String.concat ", "
+         (List.map (fun (n, f) -> Printf.sprintf "%s: %.0f MHz" n f) s.epochs))
+  | None -> ());
+  Printf.printf "  NI buffers: %d words total\n\n" t.buffer_words_total;
+  let uc_table =
+    Table.create ~header:[ "use-case"; "flows"; "MB/s"; "mean util"; "max util" ]
+  in
+  List.iter
+    (fun (l : use_case_line) ->
+      Table.add_row uc_table
+        [
+          Printf.sprintf "%d:%s" l.id l.name;
+          string_of_int l.flows;
+          Printf.sprintf "%.0f" l.total_mbps;
+          Printf.sprintf "%.2f" l.mean_link_utilization;
+          Printf.sprintf "%.2f" l.max_link_utilization;
+        ])
+    t.use_case_lines;
+  Table.print uc_table;
+  print_newline ();
+  let flow_table =
+    Table.create
+      ~header:[ "uc"; "flow"; "svc"; "req MB/s"; "granted"; "hops"; "bound ns"; "slack ns" ]
+  in
+  List.iter
+    (fun (l : flow_line) ->
+      Table.add_row flow_table
+        [
+          string_of_int l.use_case;
+          Printf.sprintf "%d->%d" l.src l.dst;
+          (match l.service with Route.Gt -> "GT" | Route.Be -> "BE");
+          Printf.sprintf "%.1f" l.bandwidth_mbps;
+          (match l.service with
+          | Route.Gt -> Printf.sprintf "%.1f" l.granted_mbps
+          | Route.Be -> "-");
+          string_of_int l.hops;
+          (if l.latency_bound_ns = infinity then "-" else Printf.sprintf "%.0f" l.latency_bound_ns);
+          (match l.latency_slack_ns with Some s -> Printf.sprintf "%.0f" s | None -> "-");
+        ])
+    t.flow_lines;
+  Table.print flow_table

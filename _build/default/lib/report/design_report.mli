@@ -1,0 +1,67 @@
+(** The full analytic report of a completed design.
+
+    Everything the designer reads after the flow finishes: the NoC and
+    its cost (switches, area, power), every connection's guarantee and
+    its slack against the requirement, per-use-case link pressure, NI
+    buffer budgets, the worst use-case switching, and the verification
+    verdict — all derived analytically (no simulation). *)
+
+type flow_line = {
+  use_case : int;
+  use_case_name : string;
+  src : int;
+  dst : int;
+  service : Noc_arch.Route.service;
+  bandwidth_mbps : float;       (** required (GT) / offered (BE) *)
+  granted_mbps : float;         (** reserved slot bandwidth; 0 for BE *)
+  hops : int;
+  latency_bound_ns : float;     (** analytic worst case; infinity for BE *)
+  latency_req_ns : float;       (** the constraint; infinity if none *)
+  latency_slack_ns : float option;
+      (** requirement minus bound, when a requirement exists *)
+}
+
+type use_case_line = {
+  id : int;
+  name : string;
+  flows : int;
+  total_mbps : float;
+  mean_link_utilization : float;
+  max_link_utilization : float;
+}
+
+type dvfs_section = {
+  f_design_mhz : float;   (** largest per-use-case minimum frequency *)
+  epochs : (string * float) list;  (** use-case name, minimum MHz *)
+  savings_pct : float;    (** DVS/DFS saving vs always running at f_design *)
+}
+
+type t = {
+  design_name : string;
+  switches : int;
+  mesh : string;                  (** rendered topology description *)
+  area_mm2 : float;
+  power_mw : float;
+  groups : int list list;
+  flow_lines : flow_line list;
+  use_case_lines : use_case_line list;
+  buffer_words_per_core : int array;
+  buffer_words_total : int;
+  worst_switching : Noc_core.Reconfig.cost option;
+  dvfs : dvfs_section option;
+  verified : bool;
+  checks : int;
+}
+
+val build : ?dvfs:bool -> Noc_core.Design_flow.t -> t
+(** Assemble the report from a completed flow.  [dvfs] (default true)
+    additionally searches each use-case's minimum feasible frequency on
+    the designed NoC and reports the DVS/DFS saving (paper §6.4). *)
+
+val min_slack_ns : t -> float option
+(** Tightest latency slack across all constrained connections — the
+    design's critical margin.  [None] if no connection is latency
+    constrained. *)
+
+val print : t -> unit
+(** Render as tables on stdout. *)

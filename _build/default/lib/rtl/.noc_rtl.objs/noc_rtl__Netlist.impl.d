@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Array Buffer Format List Noc_arch Noc_core Printf String Vhdl

@@ -1,0 +1,1 @@
+lib/rtl/netlist.mli: Noc_arch Noc_core

@@ -1,0 +1,1 @@
+lib/rtl/systemc.ml: Array Buffer Hashtbl List Noc_arch Noc_core Printf String Vhdl

@@ -1,0 +1,1 @@
+lib/rtl/systemc.mli: Noc_arch Noc_core

@@ -1,0 +1,1 @@
+lib/rtl/vhdl.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/wellformed.ml: Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/wellformed.mli:

@@ -1,0 +1,261 @@
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Slot_table = Noc_arch.Slot_table
+module Mapping = Noc_core.Mapping
+module Resources = Noc_core.Resources
+
+let data_ty config = Vhdl.std_logic_vector config.Config.link_width_bits
+
+(* The switch has the five mesh ports: east, west, north, south, local
+   (the local port aggregates the switch's NIs).  Unused directions are
+   tied off / left open at instantiation. *)
+let directions = [ "east"; "west"; "north"; "south"; "local" ]
+
+let switch_ports config =
+  let data = data_ty config in
+  { Vhdl.name = "clk"; dir = `In; ty = "std_logic" }
+  :: { Vhdl.name = "rst"; dir = `In; ty = "std_logic" }
+  :: List.concat_map
+       (fun d ->
+         [
+           { Vhdl.name = "din_" ^ d; dir = `In; ty = data };
+           { Vhdl.name = "dout_" ^ d; dir = `Out; ty = data };
+         ])
+       directions
+
+let switch_generics config =
+  [
+    ("SLOTS", "natural", string_of_int config.Config.slots);
+    ("WIDTH", "natural", string_of_int config.Config.link_width_bits);
+  ]
+
+let switch_entity ~config =
+  String.concat ""
+    [
+      Vhdl.comment "TDMA switch: the slot counter selects the crossbar configuration.";
+      Vhdl.entity ~name:"noc_switch" ~generics:(switch_generics config)
+        ~ports:(switch_ports config);
+      "architecture behavioural of noc_switch is\n";
+      "  signal slot_counter : natural range 0 to SLOTS - 1 := 0;\n";
+      "begin\n";
+      "  process (clk)\n";
+      "  begin\n";
+      "    if rising_edge(clk) then\n";
+      "      if rst = '1' then\n";
+      "        slot_counter <= 0;\n";
+      "      elsif slot_counter = SLOTS - 1 then\n";
+      "        slot_counter <= 0;\n";
+      "      else\n";
+      "        slot_counter <= slot_counter + 1;\n";
+      "      end if;\n";
+      "    end if;\n";
+      "  end process;\n";
+      "  -- contention-free forwarding: each output owned by at most one\n";
+      "  -- input per slot (per the generated slot-table package)\n";
+      "  dout_east <= din_west;\n";
+      "  dout_west <= din_east;\n";
+      "  dout_north <= din_south;\n";
+      "  dout_south <= din_north;\n";
+      "  dout_local <= din_local;\n";
+      "end behavioural;\n";
+    ]
+
+let ni_entity ~config =
+  String.concat ""
+    [
+      Vhdl.comment "Network interface: bridges a core to its switch's local port.";
+      Vhdl.entity ~name:"noc_ni"
+        ~generics:[ ("WIDTH", "natural", string_of_int config.Config.link_width_bits) ]
+        ~ports:
+          [
+            { Vhdl.name = "clk"; dir = `In; ty = "std_logic" };
+            { Vhdl.name = "rst"; dir = `In; ty = "std_logic" };
+            { Vhdl.name = "core_in"; dir = `In; ty = data_ty config };
+            { Vhdl.name = "core_out"; dir = `Out; ty = data_ty config };
+            { Vhdl.name = "net_in"; dir = `In; ty = data_ty config };
+            { Vhdl.name = "net_out"; dir = `Out; ty = data_ty config };
+          ];
+      "architecture behavioural of noc_ni is\n";
+      "begin\n";
+      "  core_out <= net_in;\n";
+      "  net_out <= core_in;\n";
+      "end behavioural;\n";
+    ]
+
+let slot_table_package ~design_name (m : Mapping.t) =
+  let config = m.Mapping.config in
+  let mesh = m.Mapping.mesh in
+  let buf = Buffer.create 4096 in
+  let links = Mesh.link_count mesh in
+  Buffer.add_string buf (Printf.sprintf "package %s_config is\n" (Vhdl.ident design_name));
+  Buffer.add_string buf (Printf.sprintf "  constant N_LINKS : natural := %d;\n" links);
+  Buffer.add_string buf (Printf.sprintf "  constant N_SLOTS : natural := %d;\n" config.Config.slots);
+  Buffer.add_string buf "  type slot_table_t is array (natural range <>) of integer;\n";
+  Array.iteri
+    (fun uc state ->
+      Buffer.add_string buf
+        (Printf.sprintf "  -- use-case %d: slot owner per (link, slot); -1 = free\n" uc);
+      let entries = ref [] in
+      for l = links - 1 downto 0 do
+        let table = Resources.table state l in
+        for s = config.Config.slots - 1 downto 0 do
+          let v = match Slot_table.owner table s with Some o -> o | None -> -1 in
+          entries := string_of_int v :: !entries
+        done
+      done;
+      let body = if !entries = [] then "-1" else String.concat ", " !entries in
+      let high = max 0 ((links * config.Config.slots) - 1) in
+      Buffer.add_string buf
+        (Printf.sprintf "  constant UC%d_SLOT_TABLE : slot_table_t(0 to %d) := (%s);\n" uc high
+           body))
+    m.Mapping.states;
+  Buffer.add_string buf (Printf.sprintf "end package %s_config;\n" (Vhdl.ident design_name));
+  Buffer.contents buf
+
+(* Directed link leaving [s] toward a compass direction (wrap-aware on
+   a torus). *)
+let link_toward mesh s dir =
+  match Mesh.neighbor_toward mesh s dir with
+  | None -> None
+  | Some n -> Mesh.link_between mesh ~src:s ~dst:n
+
+let top_level ~design_name (m : Mapping.t) =
+  let config = m.Mapping.config in
+  let mesh = m.Mapping.mesh in
+  let name = Vhdl.ident design_name in
+  let data = data_ty config in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Vhdl.entity ~name:(name ^ "_top") ~generics:[]
+       ~ports:
+         [
+           { Vhdl.name = "clk"; dir = `In; ty = "std_logic" };
+           { Vhdl.name = "rst"; dir = `In; ty = "std_logic" };
+         ]);
+  Buffer.add_string buf (Printf.sprintf "architecture structural of %s_top is\n" name);
+  Buffer.add_string buf
+    (Vhdl.component_decl ~name:"noc_switch" ~generics:(switch_generics config)
+       ~ports:(switch_ports config));
+  Buffer.add_string buf
+    (Vhdl.component_decl ~name:"noc_ni"
+       ~generics:[ ("WIDTH", "natural", string_of_int config.Config.link_width_bits) ]
+       ~ports:
+         [
+           { Vhdl.name = "clk"; dir = `In; ty = "std_logic" };
+           { Vhdl.name = "rst"; dir = `In; ty = "std_logic" };
+           { Vhdl.name = "core_in"; dir = `In; ty = data };
+           { Vhdl.name = "core_out"; dir = `Out; ty = data };
+           { Vhdl.name = "net_in"; dir = `In; ty = data };
+           { Vhdl.name = "net_out"; dir = `Out; ty = data };
+         ]);
+  for l = 0 to Mesh.link_count mesh - 1 do
+    Buffer.add_string buf (Vhdl.signal ~name:(Printf.sprintf "link_%d" l) ~ty:data)
+  done;
+  for s = 0 to Mesh.switch_count mesh - 1 do
+    Buffer.add_string buf (Vhdl.signal ~name:(Printf.sprintf "local_in_%d" s) ~ty:data);
+    Buffer.add_string buf (Vhdl.signal ~name:(Printf.sprintf "local_out_%d" s) ~ty:data)
+  done;
+  Array.iteri
+    (fun core _ ->
+      Buffer.add_string buf (Vhdl.signal ~name:(Printf.sprintf "core_out_%d" core) ~ty:data))
+    m.Mapping.placement;
+  Buffer.add_string buf "begin\n";
+  for s = 0 to Mesh.switch_count mesh - 1 do
+    let x, y = Mesh.coord mesh s in
+    (* din_<dir> takes the incoming link (the reverse direction's
+       outgoing link from the neighbour); dout_<dir> drives our own. *)
+    let dir_map =
+      [
+        ("east", Mesh.East);
+        ("west", Mesh.West);
+        ("north", Mesh.North);
+        ("south", Mesh.South);
+      ]
+    in
+    let port_map =
+      [ ("clk", "clk"); ("rst", "rst") ]
+      @ List.concat_map
+          (fun (d, dir) ->
+            let outgoing = link_toward mesh s dir in
+            let incoming =
+              match Mesh.neighbor_toward mesh s dir with
+              | None -> None
+              | Some n -> Mesh.link_between mesh ~src:n ~dst:s
+            in
+            [
+              ( "din_" ^ d,
+                match incoming with
+                | Some l -> Printf.sprintf "link_%d" l
+                | None -> "(others => '0')" );
+              ( "dout_" ^ d,
+                match outgoing with Some l -> Printf.sprintf "link_%d" l | None -> "open" );
+            ])
+          dir_map
+      @ [
+          ("din_local", Printf.sprintf "local_in_%d" s);
+          ("dout_local", Printf.sprintf "local_out_%d" s);
+        ]
+    in
+    Buffer.add_string buf
+      (Vhdl.comment (Printf.sprintf "switch %d at (%d,%d)" s x y));
+    Buffer.add_string buf
+      (Vhdl.instance
+         ~label:(Printf.sprintf "sw_%d" s)
+         ~component:"noc_switch"
+         ~generic_map:
+           [
+             ("SLOTS", string_of_int config.Config.slots);
+             ("WIDTH", string_of_int config.Config.link_width_bits);
+           ]
+         ~port_map)
+  done;
+  (* The concentrator multiplexing a switch's NIs onto its local port
+     is abstracted: the first NI on a switch drives local_in, the
+     others observe local_out only. *)
+  let local_driven = Array.make (Mesh.switch_count mesh) false in
+  Array.iteri
+    (fun core sw ->
+      let drives = not local_driven.(sw) in
+      local_driven.(sw) <- true;
+      Buffer.add_string buf (Vhdl.comment (Printf.sprintf "core %d on switch %d" core sw));
+      Buffer.add_string buf
+        (Vhdl.instance
+           ~label:(Printf.sprintf "ni_%d" core)
+           ~component:"noc_ni"
+           ~generic_map:[ ("WIDTH", string_of_int config.Config.link_width_bits) ]
+           ~port_map:
+             [
+               ("clk", "clk");
+               ("rst", "rst");
+               ("core_in", Printf.sprintf "core_out_%d" core);
+               ("core_out", "open");
+               ("net_in", Printf.sprintf "local_out_%d" sw);
+               ("net_out", if drives then Printf.sprintf "local_in_%d" sw else "open");
+             ]))
+    m.Mapping.placement;
+  (* Tie off local inputs of switches hosting no NI, and the core-side
+     stimuli (the cores themselves live outside this netlist). *)
+  Array.iteri
+    (fun s driven ->
+      if not driven then
+        Buffer.add_string buf (Printf.sprintf "  local_in_%d <= (others => '0');\n" s))
+    local_driven;
+  Array.iteri
+    (fun core _ ->
+      Buffer.add_string buf (Printf.sprintf "  core_out_%d <= (others => '0');\n" core))
+    m.Mapping.placement;
+  Buffer.add_string buf "end structural;\n";
+  Buffer.contents buf
+
+let generate ~design_name (m : Mapping.t) =
+  let config = m.Mapping.config in
+  String.concat "\n"
+    [
+      Vhdl.header
+        (Printf.sprintf "Generated NoC for design '%s': %s" design_name
+           (Format.asprintf "%a" Mesh.pp m.Mapping.mesh));
+      slot_table_package ~design_name m;
+      switch_entity ~config;
+      ni_entity ~config;
+      top_level ~design_name m;
+    ]

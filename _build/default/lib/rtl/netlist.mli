@@ -1,0 +1,26 @@
+(** Structural VHDL generation for a completed design — the
+    "SystemC & RTL VHDL NoC" output of phase 4 (paper Figure 3).
+
+    The emitted text contains: behavioural entities for the switch and
+    the network interface (parameterised by port count, link width and
+    slot count), a package holding every use-case's slot-table
+    configuration as constants (this is the state the dynamic
+    re-configuration mechanism rewrites at use-case switching time),
+    and a structural top level instantiating one switch per mesh node,
+    one NI per core, and the link signals between them. *)
+
+val slot_table_package :
+  design_name:string -> Noc_core.Mapping.t -> string
+(** The per-use-case slot-table constants. *)
+
+val switch_entity : config:Noc_arch.Noc_config.t -> string
+(** Parameterised switch entity + behavioural architecture stub. *)
+
+val ni_entity : config:Noc_arch.Noc_config.t -> string
+
+val top_level : design_name:string -> Noc_core.Mapping.t -> string
+(** The structural top level. *)
+
+val generate : design_name:string -> Noc_core.Mapping.t -> string
+(** Everything concatenated into one compilation unit, in dependency
+    order. *)

@@ -1,0 +1,336 @@
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Slot_table = Noc_arch.Slot_table
+module Mapping = Noc_core.Mapping
+module Resources = Noc_core.Resources
+
+let directions = [ "east"; "west"; "north"; "south"; "local" ]
+
+let header design_name =
+  String.concat "\n"
+    [
+      Printf.sprintf "// Generated SystemC model for design '%s'" design_name;
+      "#include <systemc.h>";
+      "";
+      "";
+    ]
+
+let switch_module ~config =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "// TDMA switch: the slot counter selects the crossbar configuration.\n";
+  Buffer.add_string buf "SC_MODULE(noc_switch) {\n";
+  Buffer.add_string buf "  sc_in<bool> clk;\n";
+  Buffer.add_string buf "  sc_in<bool> rst;\n";
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (Printf.sprintf "  sc_in<sc_uint<%d> > din_%s;\n" config.Config.link_width_bits d);
+      Buffer.add_string buf (Printf.sprintf "  sc_out<sc_uint<%d> > dout_%s;\n" config.Config.link_width_bits d))
+    directions;
+  Buffer.add_string buf (Printf.sprintf "  static const int SLOTS = %d;\n" config.Config.slots);
+  Buffer.add_string buf "  int slot_counter;\n";
+  Buffer.add_string buf "\n  void tick() {\n";
+  Buffer.add_string buf "    if (rst.read()) { slot_counter = 0; return; }\n";
+  Buffer.add_string buf "    slot_counter = (slot_counter + 1) % SLOTS;\n";
+  Buffer.add_string buf "    // contention-free forwarding per the generated slot tables\n";
+  Buffer.add_string buf "    dout_east.write(din_west.read());\n";
+  Buffer.add_string buf "    dout_west.write(din_east.read());\n";
+  Buffer.add_string buf "    dout_north.write(din_south.read());\n";
+  Buffer.add_string buf "    dout_south.write(din_north.read());\n";
+  Buffer.add_string buf "    dout_local.write(din_local.read());\n";
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "\n  SC_CTOR(noc_switch) : slot_counter(0) {\n";
+  Buffer.add_string buf "    SC_METHOD(tick);\n";
+  Buffer.add_string buf "    sensitive << clk.pos();\n";
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "};\n\n";
+  Buffer.contents buf
+
+let ni_module ~config =
+  let w = config.Config.link_width_bits in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "// Network interface: bridges a core to its switch's local port.\n";
+  Buffer.add_string buf "SC_MODULE(noc_ni) {\n";
+  Buffer.add_string buf "  sc_in<bool> clk;\n";
+  Buffer.add_string buf "  sc_in<bool> rst;\n";
+  Buffer.add_string buf (Printf.sprintf "  sc_in<sc_uint<%d> > core_in;\n" w);
+  Buffer.add_string buf (Printf.sprintf "  sc_out<sc_uint<%d> > core_out;\n" w);
+  Buffer.add_string buf (Printf.sprintf "  sc_in<sc_uint<%d> > net_in;\n" w);
+  Buffer.add_string buf (Printf.sprintf "  sc_out<sc_uint<%d> > net_out;\n" w);
+  Buffer.add_string buf "\n  void forward() {\n";
+  Buffer.add_string buf "    core_out.write(net_in.read());\n";
+  Buffer.add_string buf "    net_out.write(core_in.read());\n";
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "\n  SC_CTOR(noc_ni) {\n";
+  Buffer.add_string buf "    SC_METHOD(forward);\n";
+  Buffer.add_string buf "    sensitive << clk.pos();\n";
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "};\n\n";
+  Buffer.contents buf
+
+let ident = Vhdl.ident (* same hygiene rules serve C++ identifiers *)
+
+let slot_tables ~design_name (m : Mapping.t) =
+  let config = m.Mapping.config in
+  let mesh = m.Mapping.mesh in
+  let links = Mesh.link_count mesh in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "// slot owner per (link, slot); -1 = free; design %s\n" (ident design_name));
+  Buffer.add_string buf (Printf.sprintf "static const int N_LINKS = %d;\n" links);
+  Buffer.add_string buf (Printf.sprintf "static const int N_SLOTS = %d;\n" config.Config.slots);
+  Array.iteri
+    (fun uc state ->
+      let entries = ref [] in
+      for l = links - 1 downto 0 do
+        let table = Resources.table state l in
+        for s = config.Config.slots - 1 downto 0 do
+          let v = match Slot_table.owner table s with Some o -> o | None -> -1 in
+          entries := string_of_int v :: !entries
+        done
+      done;
+      let body = if !entries = [] then "-1" else String.concat ", " !entries in
+      Buffer.add_string buf
+        (Printf.sprintf "static const int UC%d_SLOT_TABLE[%d] = {%s};\n" uc
+           (max 1 (links * config.Config.slots))
+           body))
+    m.Mapping.states;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let top_module ~design_name (m : Mapping.t) =
+  let config = m.Mapping.config in
+  let mesh = m.Mapping.mesh in
+  let w = config.Config.link_width_bits in
+  let name = ident design_name in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Printf.sprintf "SC_MODULE(%s_top) {\n" name);
+  Buffer.add_string buf "  sc_in<bool> clk;\n";
+  Buffer.add_string buf "  sc_in<bool> rst;\n\n";
+  (* signals *)
+  for l = 0 to Mesh.link_count mesh - 1 do
+    Buffer.add_string buf (Printf.sprintf "  sc_signal<sc_uint<%d> > link_%d;\n" w l)
+  done;
+  for s = 0 to Mesh.switch_count mesh - 1 do
+    Buffer.add_string buf (Printf.sprintf "  sc_signal<sc_uint<%d> > local_in_%d;\n" w s);
+    Buffer.add_string buf (Printf.sprintf "  sc_signal<sc_uint<%d> > local_out_%d;\n" w s)
+  done;
+  Array.iteri
+    (fun core _ ->
+      Buffer.add_string buf (Printf.sprintf "  sc_signal<sc_uint<%d> > core_out_%d;\n" w core);
+      Buffer.add_string buf (Printf.sprintf "  sc_signal<sc_uint<%d> > core_sink_%d;\n" w core))
+    m.Mapping.placement;
+  (* tie-off signals for mesh-edge ports *)
+  Buffer.add_string buf (Printf.sprintf "  sc_signal<sc_uint<%d> > zero_sig;\n" w);
+  for s = 0 to Mesh.switch_count mesh - 1 do
+    List.iter
+      (fun d -> Buffer.add_string buf (Printf.sprintf "  sc_signal<sc_uint<%d> > open_%s_%d;\n" w d s))
+      [ "east"; "west"; "north"; "south" ]
+  done;
+  Buffer.add_char buf '\n';
+  (* members *)
+  for s = 0 to Mesh.switch_count mesh - 1 do
+    Buffer.add_string buf (Printf.sprintf "  noc_switch sw_%d;\n" s)
+  done;
+  Array.iteri
+    (fun core _ -> Buffer.add_string buf (Printf.sprintf "  noc_ni ni_%d;\n" core))
+    m.Mapping.placement;
+  (* constructor with bindings *)
+  Buffer.add_string buf (Printf.sprintf "\n  SC_CTOR(%s_top)" name);
+  let inits = ref [] in
+  for s = Mesh.switch_count mesh - 1 downto 0 do
+    inits := Printf.sprintf "sw_%d(\"sw_%d\")" s s :: !inits
+  done;
+  for core = Array.length m.Mapping.placement - 1 downto 0 do
+    inits := Printf.sprintf "ni_%d(\"ni_%d\")" core core :: !inits
+  done;
+  Buffer.add_string buf (" : " ^ String.concat ", " (List.rev !inits));
+  Buffer.add_string buf " {\n";
+  let dir_map =
+    [ ("east", Mesh.East); ("west", Mesh.West); ("north", Mesh.North); ("south", Mesh.South) ]
+  in
+  for s = 0 to Mesh.switch_count mesh - 1 do
+    Buffer.add_string buf (Printf.sprintf "    // switch %d\n" s);
+    Buffer.add_string buf (Printf.sprintf "    sw_%d.clk(clk);\n" s);
+    Buffer.add_string buf (Printf.sprintf "    sw_%d.rst(rst);\n" s);
+    List.iter
+      (fun (d, dir) ->
+        let outgoing =
+          match Mesh.neighbor_toward mesh s dir with
+          | Some n -> Mesh.link_between mesh ~src:s ~dst:n
+          | None -> None
+        in
+        let incoming =
+          match Mesh.neighbor_toward mesh s dir with
+          | Some n -> Mesh.link_between mesh ~src:n ~dst:s
+          | None -> None
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "    sw_%d.din_%s(%s);\n" s d
+             (match incoming with Some l -> Printf.sprintf "link_%d" l | None -> "zero_sig"));
+        Buffer.add_string buf
+          (Printf.sprintf "    sw_%d.dout_%s(%s);\n" s d
+             (match outgoing with
+             | Some l -> Printf.sprintf "link_%d" l
+             | None -> Printf.sprintf "open_%s_%d" d s)))
+      dir_map;
+    Buffer.add_string buf (Printf.sprintf "    sw_%d.din_local(local_in_%d);\n" s s);
+    Buffer.add_string buf (Printf.sprintf "    sw_%d.dout_local(local_out_%d);\n" s s)
+  done;
+  let local_driven = Array.make (Mesh.switch_count mesh) false in
+  Array.iteri
+    (fun core sw ->
+      let drives = not local_driven.(sw) in
+      local_driven.(sw) <- true;
+      Buffer.add_string buf (Printf.sprintf "    // core %d on switch %d\n" core sw);
+      Buffer.add_string buf (Printf.sprintf "    ni_%d.clk(clk);\n" core);
+      Buffer.add_string buf (Printf.sprintf "    ni_%d.rst(rst);\n" core);
+      Buffer.add_string buf (Printf.sprintf "    ni_%d.core_in(core_out_%d);\n" core core);
+      Buffer.add_string buf (Printf.sprintf "    ni_%d.core_out(core_sink_%d);\n" core core);
+      Buffer.add_string buf (Printf.sprintf "    ni_%d.net_in(local_out_%d);\n" core sw);
+      Buffer.add_string buf
+        (Printf.sprintf "    ni_%d.net_out(%s);\n" core
+           (if drives then Printf.sprintf "local_in_%d" sw
+            else Printf.sprintf "core_sink_%d" core)))
+    m.Mapping.placement;
+  Buffer.add_string buf "  }\n};\n";
+  Buffer.contents buf
+
+let generate ~design_name (m : Mapping.t) =
+  String.concat ""
+    [
+      header design_name;
+      slot_tables ~design_name m;
+      switch_module ~config:m.Mapping.config;
+      ni_module ~config:m.Mapping.config;
+      top_module ~design_name m;
+    ]
+
+(* --- lint --------------------------------------------------------------- *)
+
+type issue = {
+  line : int;
+  message : string;
+}
+
+let strip_comment line =
+  match String.index_opt line '/' with
+  | Some i when i + 1 < String.length line && line.[i + 1] = '/' -> String.sub line 0 i
+  | _ -> line
+
+let idents line =
+  let buf = Buffer.create 16 in
+  let acc = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      acc := Buffer.contents buf :: !acc;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> flush ())
+    line;
+  flush ();
+  List.rev !acc
+
+let scan text =
+  let modules = ref [] in
+  let members = ref [] in (* (module_type, member_name, line) *)
+  let signals = ref [] in
+  let ports = ref [] in
+  let bindings = ref [] in (* (member, port, actual, line) *)
+  List.iteri
+    (fun i raw ->
+      let line_no = i + 1 in
+      let line = strip_comment raw in
+      let ts = idents line in
+      (match ts with
+      | "SC_MODULE" :: name :: _ -> modules := (name, line_no) :: !modules
+      | "sc_signal" :: rest ->
+        (* last identifier on the line is the signal name *)
+        (match List.rev rest with
+        | name :: _ when name <> "" -> signals := (name, line_no) :: !signals
+        | _ -> ())
+      | ("sc_in" | "sc_out") :: rest ->
+        (match List.rev rest with
+        | name :: _ -> ports := (name, line_no) :: !ports
+        | _ -> ())
+      | [ ty; member ] when ty <> "" && member <> "" && ty <> "int" && ty <> "return" ->
+        (* member declaration like "noc_switch sw_0;" *)
+        if String.length line > 0 && String.contains line ';' && not (String.contains line '(')
+        then members := (ty, member, line_no) :: !members
+      | _ -> ());
+      (* binding: member.port(actual); *)
+      match String.index_opt line '.' with
+      | Some di when String.contains line '(' && String.contains line ')' ->
+        let before = String.sub line 0 di in
+        (match (idents before, String.index_opt line '(') with
+        | [ member ], Some oi -> (
+          let between = String.sub line (di + 1) (oi - di - 1) in
+          let close = String.index_from line oi ')' in
+          let actual = String.sub line (oi + 1) (close - oi - 1) in
+          match (idents between, idents actual) with
+          | [ port ], [ a ] -> bindings := (member, port, a, line_no) :: !bindings
+          | _ -> ())
+        | _ -> ())
+      | _ -> ())
+    (String.split_on_char '\n' text);
+  (!modules, !members, !signals, !ports, !bindings)
+
+let balanced text =
+  let depth_brace = ref 0 and depth_paren = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '{' -> incr depth_brace
+      | '}' -> decr depth_brace
+      | '(' -> incr depth_paren
+      | ')' -> decr depth_paren
+      | _ -> ())
+    text;
+  (!depth_brace, !depth_paren)
+
+let check text =
+  let modules, members, signals, ports, bindings = scan text in
+  let issues = ref [] in
+  let add line message = issues := { line; message } :: !issues in
+  let db, dp = balanced text in
+  if db <> 0 then add 0 (Printf.sprintf "unbalanced braces (depth %d at end)" db);
+  if dp <> 0 then add 0 (Printf.sprintf "unbalanced parentheses (depth %d at end)" dp);
+  (* every member's type is a declared SC_MODULE *)
+  List.iter
+    (fun (ty, member, line) ->
+      if
+        (not (List.exists (fun (m, _) -> m = ty) modules))
+        && ty <> "sc_signal" && ty <> "bool"
+      then add line (Printf.sprintf "member '%s' has undeclared module type '%s'" member ty))
+    members;
+  (* duplicate members *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (_, member, line) ->
+      if Hashtbl.mem seen member then add line (Printf.sprintf "duplicate member '%s'" member)
+      else Hashtbl.add seen member ())
+    members;
+  (* binding actuals must be declared signals or top-level ports *)
+  let known = Hashtbl.create 256 in
+  List.iter (fun (s, _) -> Hashtbl.replace known s ()) signals;
+  List.iter (fun (p, _) -> Hashtbl.replace known p ()) ports;
+  List.iter
+    (fun (_, _, actual, line) ->
+      if not (Hashtbl.mem known actual) then
+        add line (Printf.sprintf "binding actual '%s' is not a declared signal or port" actual))
+    bindings;
+  if modules = [] then add 0 "no SC_MODULE found";
+  match List.rev !issues with [] -> Ok () | l -> Error l
+
+let stats text =
+  let modules, members, signals, _, bindings = scan text in
+  [
+    ("modules", List.length modules);
+    ("instances", List.length members);
+    ("signals", List.length signals);
+    ("bindings", List.length bindings);
+  ]

@@ -1,0 +1,38 @@
+(** SystemC generation for a completed design.
+
+    Phase 4 of the paper's flow emits "SystemC & RTL VHDL"; {!Netlist}
+    covers the VHDL side, this module the SystemC side: behavioural
+    switch and NI modules, the per-use-case slot tables as constant
+    arrays, and a structural top level binding one switch per mesh node
+    and one NI per core.  [check] is a lint for the constructs this
+    generator emits, strong enough to catch generator bugs. *)
+
+val switch_module : config:Noc_arch.Noc_config.t -> string
+(** SC_MODULE(noc_switch) with the five compass ports and the slot
+    counter process. *)
+
+val ni_module : config:Noc_arch.Noc_config.t -> string
+
+val slot_tables : design_name:string -> Noc_core.Mapping.t -> string
+(** Per-use-case slot-table constants (the state rewritten at use-case
+    switching time). *)
+
+val top_module : design_name:string -> Noc_core.Mapping.t -> string
+(** The structural top level with signal members and constructor
+    bindings. *)
+
+val generate : design_name:string -> Noc_core.Mapping.t -> string
+(** The full compilation unit. *)
+
+type issue = {
+  line : int;
+  message : string;
+}
+
+val check : string -> (unit, issue list) result
+(** Lint: balanced braces/parentheses, every instantiated module has an
+    SC_MODULE definition, every port binding refers to a declared
+    signal or port, no duplicate instance member names. *)
+
+val stats : string -> (string * int) list
+(** Inventory: modules, instances, signals, bindings. *)

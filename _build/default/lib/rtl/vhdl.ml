@@ -1,0 +1,77 @@
+let ident s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char buf c
+      | '_' | '-' | ' ' | '.' ->
+        if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> '_' then
+          Buffer.add_char buf '_'
+      | _ -> ())
+    s;
+  let s = Buffer.contents buf in
+  let s = if s = "" then "u" else s in
+  let s =
+    match s.[0] with 'a' .. 'z' | 'A' .. 'Z' -> s | '0' .. '9' | _ -> "u_" ^ s
+  in
+  if s.[String.length s - 1] = '_' then String.sub s 0 (String.length s - 1) else s
+
+let std_logic_vector width = Printf.sprintf "std_logic_vector(%d downto 0)" (width - 1)
+
+type port = {
+  name : string;
+  dir : [ `In | `Out ];
+  ty : string;
+}
+
+let dir_str = function `In -> "in" | `Out -> "out"
+
+let generics_block generics =
+  if generics = [] then ""
+  else
+    let lines =
+      List.map (fun (n, ty, dflt) -> Printf.sprintf "    %s : %s := %s" n ty dflt) generics
+    in
+    Printf.sprintf "  generic (\n%s\n  );\n" (String.concat ";\n" lines)
+
+let ports_block ports =
+  if ports = [] then ""
+  else
+    let lines =
+      List.map (fun p -> Printf.sprintf "    %s : %s %s" p.name (dir_str p.dir) p.ty) ports
+    in
+    Printf.sprintf "  port (\n%s\n  );\n" (String.concat ";\n" lines)
+
+let entity ~name ~generics ~ports =
+  Printf.sprintf "entity %s is\n%s%send %s;\n" name (generics_block generics)
+    (ports_block ports) name
+
+let component_decl ~name ~generics ~ports =
+  Printf.sprintf "  component %s\n  %s  %send component;\n" name
+    (String.concat "" (List.map (fun l -> l) [ generics_block generics ]))
+    (ports_block ports)
+
+let map_block keyword assoc =
+  if assoc = [] then ""
+  else
+    let lines = List.map (fun (formal, actual) -> Printf.sprintf "      %s => %s" formal actual) assoc in
+    Printf.sprintf "    %s (\n%s\n    )\n" keyword (String.concat ",\n" lines)
+
+let instance ~label ~component ~generic_map ~port_map =
+  let g = map_block "generic map" generic_map in
+  let p = map_block "port map" port_map in
+  Printf.sprintf "  %s : %s\n%s%s  ;\n" label component g p
+
+let signal ~name ~ty = Printf.sprintf "  signal %s : %s;\n" name ty
+
+let comment s = "-- " ^ s ^ "\n"
+
+let header banner =
+  String.concat ""
+    [
+      comment banner;
+      "library ieee;\n";
+      "use ieee.std_logic_1164.all;\n";
+      "use ieee.numeric_std.all;\n";
+      "\n";
+    ]

@@ -1,0 +1,39 @@
+(** Minimal VHDL text construction.
+
+    The backend emits structural VHDL-93; this module owns identifier
+    hygiene and the boilerplate so that {!Netlist} reads like the
+    design it describes. *)
+
+val ident : string -> string
+(** Sanitise into a legal VHDL basic identifier: alphanumerics and
+    underscores, starting with a letter, no trailing/duplicate
+    underscores. *)
+
+val std_logic_vector : int -> string
+(** e.g. [std_logic_vector(31 downto 0)]. *)
+
+type port = {
+  name : string;
+  dir : [ `In | `Out ];
+  ty : string;
+}
+
+val entity : name:string -> generics:(string * string * string) list -> ports:port list -> string
+(** [entity ~name ~generics ~ports]: generics are (name, type,
+    default). *)
+
+val component_decl : name:string -> generics:(string * string * string) list -> ports:port list -> string
+
+val instance :
+  label:string ->
+  component:string ->
+  generic_map:(string * string) list ->
+  port_map:(string * string) list ->
+  string
+
+val signal : name:string -> ty:string -> string
+
+val comment : string -> string
+
+val header : string -> string
+(** Standard library/use clauses plus a banner comment. *)

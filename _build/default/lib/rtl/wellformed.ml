@@ -1,0 +1,190 @@
+type issue = {
+  line : int;
+  message : string;
+}
+
+let lines_of text = String.split_on_char '\n' text
+
+let strip_comment line =
+  match String.index_opt line '-' with
+  | Some i when i + 1 < String.length line && line.[i + 1] = '-' -> String.sub line 0 i
+  | _ -> line
+
+let lower = String.lowercase_ascii
+
+let tokens line =
+  (* Split on everything that is not an identifier character. *)
+  let buf = Buffer.create 16 in
+  let acc = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      acc := Buffer.contents buf :: !acc;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> flush ())
+    line;
+  flush ();
+  List.rev !acc
+
+let starts_with_kw kw toks = match toks with t :: _ -> lower t = kw | [] -> false
+
+(* An instantiation line looks like "label : component_name". *)
+let instance_of line =
+  let line = strip_comment line in
+  match String.index_opt line ':' with
+  | None -> None
+  | Some i ->
+    let before = String.trim (String.sub line 0 i) in
+    let after = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    (match (tokens before, tokens after) with
+    | [ label ], comp :: rest
+      when comp <> ""
+           && (not (List.mem (lower comp) [ "in"; "out"; "natural"; "std_logic"; "integer"; "signal"; "unsigned" ]))
+           && (rest = [] || List.for_all (fun t -> lower t <> "downto") (tokens after))
+           && not (String.contains after '=') ->
+      Some (label, comp)
+    | _ -> None)
+
+let scan text =
+  let entities = ref [] in
+  let packages = ref [] in
+  let components = ref [] in
+  let architectures = ref [] in
+  let signals = ref [] in
+  let instances = ref [] in
+  let port_actuals = ref [] in
+  let ends = ref 0 in
+  let unit_starts = ref 0 in
+  List.iteri
+    (fun i raw ->
+      let line_no = i + 1 in
+      let line = strip_comment raw in
+      let toks = tokens line in
+      let ltoks = List.map lower toks in
+      (match ltoks with
+      | "entity" :: name :: "is" :: _ ->
+        incr unit_starts;
+        entities := (name, line_no) :: !entities
+      | "package" :: name :: "is" :: _ ->
+        incr unit_starts;
+        packages := (name, line_no) :: !packages
+      | "architecture" :: name :: "of" :: parent :: _ ->
+        incr unit_starts;
+        architectures := ((name, parent), line_no) :: !architectures
+      | "component" :: name :: _ -> components := (name, line_no) :: !components
+      | "signal" :: name :: _ -> signals := (name, line_no) :: !signals
+      | "end" :: _ -> incr ends
+      | _ -> ());
+      (if not (starts_with_kw "signal" ltoks) then
+         match instance_of line with
+         | Some (label, comp)
+           when (not (List.mem (lower comp) [ "process"; "block"; "generate" ]))
+                && String.length line > 0 ->
+           instances := ((label, comp), line_no) :: !instances
+         | _ -> ());
+      (* Port-map actuals: "formal => actual" *)
+      if String.length line > 2 then begin
+        let rec find_arrows from =
+          match String.index_from_opt line from '=' with
+          | Some j when j + 1 < String.length line && line.[j + 1] = '>' ->
+            let actual = String.sub line (j + 2) (String.length line - j - 2) in
+            let actual = String.trim actual in
+            let actual =
+              match String.index_opt actual ',' with
+              | Some k -> String.sub actual 0 k
+              | None -> actual
+            in
+            (match tokens actual with
+            | [ a ]
+              when (not (String.contains actual '\''))
+                   && lower a <> "open"
+                   && (not (String.contains actual '('))
+                   && (match a.[0] with '0' .. '9' -> false | _ -> true) ->
+              port_actuals := (a, line_no) :: !port_actuals
+            | _ -> ());
+            find_arrows (j + 2)
+          | Some j -> find_arrows (j + 1)
+          | None -> ()
+        in
+        find_arrows 0
+      end)
+    (lines_of text);
+  ( !entities,
+    !packages,
+    !components,
+    !architectures,
+    !signals,
+    !instances,
+    !port_actuals,
+    !ends,
+    !unit_starts )
+
+let check text =
+  let entities, packages, components, architectures, signals, instances, port_actuals, _, _ =
+    scan text
+  in
+  let issues = ref [] in
+  let add line message = issues := { line; message } :: !issues in
+  (* Every architecture refers to a declared entity. *)
+  List.iter
+    (fun ((_, parent), line) ->
+      if not (List.exists (fun (e, _) -> lower e = lower parent) entities) then
+        add line (Printf.sprintf "architecture of undeclared entity '%s'" parent))
+    architectures;
+  (* Every entity has exactly one architecture here. *)
+  List.iter
+    (fun (e, line) ->
+      let n =
+        List.length (List.filter (fun ((_, p), _) -> lower p = lower e) architectures)
+      in
+      if n = 0 then add line (Printf.sprintf "entity '%s' has no architecture" e))
+    entities;
+  (* Instances reference declared components. *)
+  List.iter
+    (fun ((label, comp), line) ->
+      if not (List.exists (fun (c, _) -> lower c = lower comp) components) then
+        add line (Printf.sprintf "instance '%s' of undeclared component '%s'" label comp))
+    instances;
+  (* Duplicate instance labels. *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun ((label, _), line) ->
+      if Hashtbl.mem seen (lower label) then
+        add line (Printf.sprintf "duplicate instance label '%s'" label)
+      else Hashtbl.add seen (lower label) ())
+    instances;
+  (* Duplicate signal names. *)
+  let seen_sig = Hashtbl.create 64 in
+  List.iter
+    (fun (s, line) ->
+      if Hashtbl.mem seen_sig (lower s) then
+        add line (Printf.sprintf "duplicate signal '%s'" s)
+      else Hashtbl.add seen_sig (lower s) ())
+    signals;
+  (* Port-map actuals are declared signals or top-level ports. *)
+  let known = Hashtbl.create 256 in
+  List.iter (fun (s, _) -> Hashtbl.replace known (lower s) ()) signals;
+  List.iter (fun s -> Hashtbl.replace known s ()) [ "clk"; "rst" ];
+  List.iter
+    (fun (a, line) ->
+      if not (Hashtbl.mem known (lower a)) then
+        add line (Printf.sprintf "port map actual '%s' is not a declared signal" a))
+    port_actuals;
+  if packages = [] && entities = [] then add 0 "no design units found";
+  match List.rev !issues with [] -> Ok () | l -> Error l
+
+let stats text =
+  let entities, packages, components, architectures, signals, instances, _, _, _ = scan text in
+  [
+    ("entities", List.length entities);
+    ("architectures", List.length architectures);
+    ("packages", List.length packages);
+    ("components", List.length components);
+    ("signals", List.length signals);
+    ("instances", List.length instances);
+  ]

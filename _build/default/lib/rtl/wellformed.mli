@@ -1,0 +1,20 @@
+(** Structural well-formedness checks over generated VHDL text.
+
+    Not a VHDL compiler — a lint for the constructs {!Netlist} emits,
+    strong enough to catch generator bugs: unbalanced design units,
+    instances of undeclared components, references to undeclared
+    signals in port maps, duplicate instance labels and duplicate
+    signal declarations. *)
+
+type issue = {
+  line : int;      (** 1-based line of the offending text, 0 if global *)
+  message : string;
+}
+
+val check : string -> (unit, issue list) result
+(** Empty issue list = well-formed (returned as [Ok ()]). *)
+
+val stats : string -> (string * int) list
+(** Quick inventory of the text: entities, architectures, components,
+    instances, signals, packages — used by tests and the CLI to report
+    what was generated. *)

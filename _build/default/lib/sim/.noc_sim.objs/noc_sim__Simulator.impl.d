@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Float Format Hashtbl List Noc_arch Option Printf Queue Trace

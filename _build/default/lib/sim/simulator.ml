@@ -1,0 +1,316 @@
+module Config = Noc_arch.Noc_config
+module Route = Noc_arch.Route
+
+type conn_stats = {
+  flow_id : int;
+  src_core : int;
+  dst_core : int;
+  service : Route.service;
+  offered_mbps : float;
+  delivered_mbps : float;
+  mean_latency_ns : float;
+  max_latency_ns : float;
+  bound_ns : float;
+  final_backlog_bytes : float;
+  max_backlog_bytes : float;
+}
+
+type result = {
+  duration_slots : int;
+  slot_ns : float;
+  collisions : int;
+  conns : conn_stats list;
+}
+
+type source =
+  | Fluid
+  | On_off of {
+      period_slots : int;
+      duty : float;
+    }
+  | Replay of Trace.t
+
+type chunk = {
+  arrival_ns : float;
+  mutable ready_ns : float;  (* earliest instant the next hop may move it *)
+  mutable bytes : float;
+}
+
+type conn_state = {
+  route : Route.t;
+  starts : bool array;             (* GT: may we launch in this slot? *)
+  hop_queues : chunk Queue.t array; (* queue i: waiting to traverse link i;
+                                       a single queue for GT and same-switch *)
+  mutable delivered_bytes : float;
+  mutable backlog : float;
+  mutable backlog_peak : float;
+  mutable latency_sum : float;
+  mutable latency_max : float;
+  mutable latency_bytes : float;
+}
+
+(* Static collision check over guaranteed routes: rebuild (link, slot)
+   ownership; the GT discipline must be contention-free. *)
+let count_collisions ~slots routes =
+  let owner = Hashtbl.create 256 in
+  let collisions = ref 0 in
+  List.iter
+    (fun r ->
+      if r.Route.service = Route.Gt then
+        List.iter
+          (fun start ->
+            List.iteri
+              (fun hop link ->
+                let key = (link, (start + hop) mod slots) in
+                match Hashtbl.find_opt owner key with
+                | Some other when other <> r.Route.flow_id -> incr collisions
+                | Some _ -> ()
+                | None -> Hashtbl.add owner key r.Route.flow_id)
+              r.Route.links)
+          r.Route.slot_starts)
+    routes;
+  (!collisions, owner)
+
+let take_from_queue ~budget ~now_ns ~transit_ns queue ~deliver st =
+  (* Move up to [budget] ready bytes out of [queue]; [deliver] consumes
+     them (recording latency), otherwise the caller re-enqueues them
+     downstream, ready one slot later (a flit advances one hop per
+     slot). *)
+  let moved = ref [] in
+  let budget = ref budget in
+  let blocked = ref false in
+  while (not !blocked) && !budget > 1e-12 && not (Queue.is_empty queue) do
+    let chunk = Queue.peek queue in
+    if chunk.ready_ns > now_ns +. 1e-9 then blocked := true
+    else begin
+      let take = Float.min chunk.bytes !budget in
+      chunk.bytes <- chunk.bytes -. take;
+      budget := !budget -. take;
+      if deliver then begin
+        st.delivered_bytes <- st.delivered_bytes +. take;
+        st.backlog <- st.backlog -. take;
+        let lat = now_ns +. transit_ns -. chunk.arrival_ns in
+        st.latency_sum <- st.latency_sum +. (lat *. take);
+        st.latency_bytes <- st.latency_bytes +. take;
+        if lat > st.latency_max then st.latency_max <- lat
+      end
+      else
+        moved :=
+          { arrival_ns = chunk.arrival_ns; ready_ns = now_ns +. transit_ns; bytes = take }
+          :: !moved;
+      if chunk.bytes <= 1e-12 then ignore (Queue.pop queue)
+    end
+  done;
+  List.rev !moved
+
+let arrival_bytes ~source ~bw ~slot_ns ~t =
+  match source with
+  | Fluid -> bw /. 1000.0 *. slot_ns
+  | Replay _ -> 0.0 (* replay arrivals are injected event by event *)
+  | On_off { period_slots; duty } ->
+    if period_slots <= 0 then invalid_arg "Simulator: non-positive burst period";
+    if duty <= 0.0 || duty > 1.0 then invalid_arg "Simulator: duty must be in (0,1]";
+    let on_slots = Float.max 1.0 (Float.round (duty *. float_of_int period_slots)) in
+    let phase = t mod period_slots in
+    if float_of_int phase < on_slots then
+      (* the whole cycle's traffic arrives during the ON phase *)
+      bw /. 1000.0 *. slot_ns *. (float_of_int period_slots /. on_slots)
+    else 0.0
+
+let simulate_sources ~sources ~config ~routes ~duration_slots =
+  if duration_slots <= 0 then invalid_arg "Simulator.simulate: non-positive duration";
+  let slots = config.Config.slots in
+  let slot_ns = Config.slot_duration_ns config in
+  let payload_bytes =
+    float_of_int config.Config.slot_cycles *. float_of_int config.Config.link_width_bits /. 8.0
+  in
+  let collisions, gt_owner = count_collisions ~slots routes in
+  let make_state r =
+    let starts = Array.make slots false in
+    if r.Route.service = Route.Gt then begin
+      if r.Route.links = [] then Array.fill starts 0 slots true
+      else List.iter (fun s -> starts.(s mod slots) <- true) r.Route.slot_starts
+    end;
+    let n_queues =
+      match (r.Route.service, r.Route.links) with
+      | Route.Gt, _ | _, [] -> 1
+      | Route.Be, links -> List.length links
+    in
+    {
+      route = r;
+      starts;
+      hop_queues = Array.init n_queues (fun _ -> Queue.create ());
+      delivered_bytes = 0.0;
+      backlog = 0.0;
+      backlog_peak = 0.0;
+      latency_sum = 0.0;
+      latency_max = 0.0;
+      latency_bytes = 0.0;
+    }
+  in
+  let states = List.map make_state routes in
+  (* Pending replay events per connection, consumed in time order. *)
+  let replays =
+    List.filter_map
+      (fun st ->
+        match List.assoc_opt st.route.Route.flow_id sources with
+        | Some (Replay trace) ->
+          (match Trace.validate trace with
+          | Ok () -> Some (st, ref trace)
+          | Error msg -> invalid_arg ("Simulator: bad trace: " ^ msg))
+        | _ -> None)
+      states
+  in
+  let gt_states = List.filter (fun st -> st.route.Route.service = Route.Gt) states in
+  let be_states = List.filter (fun st -> st.route.Route.service = Route.Be) states in
+  (* Per link: the BE connections that traverse it (with their hop
+     index), and a round-robin arbitration pointer. *)
+  let be_by_link : (int, (conn_state * int) list ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun st ->
+      List.iteri
+        (fun hop link ->
+          let entry =
+            match Hashtbl.find_opt be_by_link link with
+            | Some e -> e
+            | None ->
+              let e = (ref [], ref 0) in
+              Hashtbl.add be_by_link link e;
+              e
+          in
+          fst entry := (st, hop) :: !(fst entry))
+        st.route.Route.links)
+    be_states;
+  Hashtbl.iter (fun _ (lst, _) -> lst := List.rev !lst) be_by_link;
+  for t = 0 to duration_slots - 1 do
+    let now_ns = float_of_int t *. slot_ns in
+    let slot = t mod slots in
+    (* Arrival of each connection's offered load (fluid or bursty). *)
+    List.iter
+      (fun st ->
+        let source =
+          Option.value (List.assoc_opt st.route.Route.flow_id sources) ~default:Fluid
+        in
+        let arriving = arrival_bytes ~source ~bw:st.route.Route.bandwidth ~slot_ns ~t in
+        if arriving > 0.0 then begin
+          Queue.push { arrival_ns = now_ns; ready_ns = now_ns; bytes = arriving } st.hop_queues.(0);
+          st.backlog <- st.backlog +. arriving;
+          if st.backlog > st.backlog_peak then st.backlog_peak <- st.backlog
+        end)
+      states;
+    (* Replay traces: inject every event falling inside this slot. *)
+    List.iter
+      (fun (st, pending) ->
+        let horizon = now_ns +. slot_ns in
+        let rec drain () =
+          match !pending with
+          | e :: rest when e.Trace.at_ns < horizon ->
+            pending := rest;
+            Queue.push
+              { arrival_ns = Float.max e.Trace.at_ns now_ns; ready_ns = now_ns; bytes = e.Trace.bytes }
+              st.hop_queues.(0);
+            st.backlog <- st.backlog +. e.Trace.bytes;
+            if st.backlog > st.backlog_peak then st.backlog_peak <- st.backlog;
+            drain ()
+          | _ -> ()
+        in
+        drain ())
+      replays;
+    (* Guaranteed connections: a payload departs on each reserved start. *)
+    List.iter
+      (fun st ->
+        if st.starts.(slot) then begin
+          let transit_ns = slot_ns +. (float_of_int (Route.hops st.route) *. slot_ns) in
+          ignore
+            (take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns st.hop_queues.(0)
+               ~deliver:true st)
+        end)
+      gt_states;
+    (* Same-switch best-effort: the local port forwards every slot. *)
+    List.iter
+      (fun st ->
+        if st.route.Route.links = [] then
+          ignore
+            (take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:slot_ns
+               st.hop_queues.(0) ~deliver:true st))
+      be_states;
+    (* Best-effort over links: each link whose current slot is not
+       GT-owned serves one BE connection (round robin). *)
+    Hashtbl.iter
+      (fun link (conns, rr) ->
+        if not (Hashtbl.mem gt_owner (link, slot)) then begin
+          let arr = Array.of_list !conns in
+          let n = Array.length arr in
+          let chosen = ref None in
+          let i = ref 0 in
+          while !chosen = None && !i < n do
+            let idx = (!rr + !i) mod n in
+            let st, hop = arr.(idx) in
+            if not (Queue.is_empty st.hop_queues.(hop)) then chosen := Some (idx, st, hop);
+            incr i
+          done;
+          match !chosen with
+          | None -> ()
+          | Some (idx, st, hop) ->
+            rr := (idx + 1) mod n;
+            let last = hop = Array.length st.hop_queues - 1 in
+            if last then
+              ignore
+                (take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:slot_ns
+                   st.hop_queues.(hop) ~deliver:true st)
+            else begin
+              let moved =
+                take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:slot_ns
+                  st.hop_queues.(hop) ~deliver:false st
+              in
+              List.iter (fun c -> Queue.push c st.hop_queues.(hop + 1)) moved
+            end
+        end)
+      be_by_link
+  done;
+  let horizon_ns = float_of_int duration_slots *. slot_ns in
+  let finish st =
+    {
+      flow_id = st.route.Route.flow_id;
+      src_core = st.route.Route.src_core;
+      dst_core = st.route.Route.dst_core;
+      service = st.route.Route.service;
+      offered_mbps = st.route.Route.bandwidth;
+      delivered_mbps = st.delivered_bytes /. horizon_ns *. 1000.0;
+      mean_latency_ns =
+        (if st.latency_bytes > 0.0 then st.latency_sum /. st.latency_bytes else 0.0);
+      max_latency_ns = st.latency_max;
+      bound_ns = Route.worst_case_latency_ns ~config st.route;
+      final_backlog_bytes = st.backlog;
+      max_backlog_bytes = st.backlog_peak;
+    }
+  in
+  { duration_slots; slot_ns; collisions; conns = List.map finish states }
+
+let within_contract ?(tolerance = 0.02) r =
+  r.collisions = 0
+  && List.for_all
+       (fun c ->
+         c.service = Route.Be
+         || (c.delivered_mbps >= c.offered_mbps *. (1.0 -. tolerance)
+            (* one slot of boundary slack on the analytic bound *)
+            && c.max_latency_ns <= c.bound_ns +. r.slot_ns +. 1e-6))
+       r.conns
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>simulated %d slots, %d collisions@ " r.duration_slots r.collisions;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "conn %d (%d->%d%s): offered %.1f delivered %.1f MB/s, lat mean %.1f max %.1f%s@."
+        c.flow_id c.src_core c.dst_core
+        (match c.service with Route.Gt -> "" | Route.Be -> ", BE")
+        c.offered_mbps c.delivered_mbps c.mean_latency_ns c.max_latency_ns
+        (match c.service with
+        | Route.Gt -> Printf.sprintf " (bound %.1f) ns" c.bound_ns
+        | Route.Be -> " ns (no bound)"))
+    r.conns;
+  Format.fprintf ppf "@]"
+
+let simulate ~config ~routes ~duration_slots =
+  simulate_sources ~sources:[] ~config ~routes ~duration_slots

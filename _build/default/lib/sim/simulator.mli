@@ -1,0 +1,81 @@
+(** Slot-accurate simulation of one NoC configuration.
+
+    Substitute for the paper's SystemC/VHDL phase-4 simulation: the
+    same contention-free TDMA discipline is executed slot by slot.
+    Each guaranteed-throughput connection offers fluid traffic at its
+    contracted bandwidth; a flit of one slot's payload departs whenever
+    one of the connection's reserved starting slots comes around, and
+    reaches the destination [hops] slots later.  The simulator
+    independently rebuilds the (link, slot) occupancy from the routes
+    and reports any collision — a disagreement would mean the mapper's
+    slot tables are wrong.
+
+    Best-effort connections (paper Sec 2's second Aethereal traffic
+    class) are forwarded hop by hop over slots the GT schedule leaves
+    free, with per-link round-robin arbitration between BE streams;
+    they get whatever is left and no latency bound. *)
+
+type conn_stats = {
+  flow_id : int;
+  src_core : int;
+  dst_core : int;
+  service : Noc_arch.Route.service;
+  offered_mbps : float;     (** contracted (GT) or offered (BE) bandwidth *)
+  delivered_mbps : float;   (** measured over the simulated window *)
+  mean_latency_ns : float;  (** mean chunk latency (queueing + transit) *)
+  max_latency_ns : float;
+  bound_ns : float;         (** the analytic worst-case bound; [infinity] for BE *)
+  final_backlog_bytes : float;  (** source queue left at the end *)
+  max_backlog_bytes : float;
+      (** peak queue occupancy — compare with
+          {!Noc_arch.Ni_buffer.required_bytes} *)
+}
+
+type source =
+  | Fluid
+      (** constant-rate arrivals at the connection's bandwidth (default) *)
+  | On_off of {
+      period_slots : int;  (** burst cycle length *)
+      duty : float;        (** fraction of the cycle that is ON, in (0, 1] *)
+    }
+      (** bursty arrivals: the mean rate stays the connection's
+          bandwidth, but it arrives at [bandwidth/duty] during the ON
+          phase and not at all during the OFF phase — video-frame-style
+          traffic.  GT reservations smooth such bursts at the cost of
+          NI buffering. *)
+  | Replay of Trace.t
+      (** replay an explicit packet trace (see {!Trace}); the
+          connection's nominal bandwidth is ignored for arrivals *)
+
+type result = {
+  duration_slots : int;
+  slot_ns : float;   (** slot duration used, for slack computations *)
+  collisions : int;  (** (link, slot) claimed by two connections *)
+  conns : conn_stats list;
+}
+
+val simulate :
+  config:Noc_arch.Noc_config.t ->
+  routes:Noc_arch.Route.t list ->
+  duration_slots:int ->
+  result
+(** Simulate the routes of one use-case configuration for
+    [duration_slots] slots, with fluid (constant-rate) sources. *)
+
+val simulate_sources :
+  sources:(int * source) list ->
+  config:Noc_arch.Noc_config.t ->
+  routes:Noc_arch.Route.t list ->
+  duration_slots:int ->
+  result
+(** Like {!simulate}, with the arrival process of individual
+    connections overridden by flow id. *)
+
+val within_contract : ?tolerance:float -> result -> bool
+(** True when every *guaranteed* connection delivered at least
+    [(1 - tolerance) x offered] bandwidth (default tolerance 2 %),
+    every measured GT latency is within its analytic bound plus one
+    slot of boundary slack, and no collision occurred.  Best-effort
+    connections carry no contract and are not checked. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,46 @@
+type event = {
+  at_ns : float;
+  bytes : float;
+}
+
+type t = event list
+
+let validate t =
+  let rec go last = function
+    | [] -> Ok ()
+    | e :: rest ->
+      if e.at_ns < 0.0 then Error "negative event time"
+      else if e.at_ns < last then Error "events out of order"
+      else if e.bytes <= 0.0 then Error "non-positive packet size"
+      else go e.at_ns rest
+  in
+  go 0.0 t
+
+let total_bytes t = List.fold_left (fun acc e -> acc +. e.bytes) 0.0 t
+
+let mean_rate_mbps t ~duration_ns =
+  if duration_ns <= 0.0 then invalid_arg "Trace.mean_rate_mbps: non-positive duration";
+  total_bytes t /. duration_ns *. 1000.0
+
+let cbr ~rate_mbps ~packet_bytes ~duration_ns =
+  if rate_mbps <= 0.0 || packet_bytes <= 0.0 || duration_ns <= 0.0 then
+    invalid_arg "Trace.cbr: non-positive parameter";
+  (* one packet every packet_bytes / rate: rate MB/s = rate/1000 B/ns *)
+  let period_ns = packet_bytes /. (rate_mbps /. 1000.0) in
+  let n = int_of_float (duration_ns /. period_ns) in
+  List.init n (fun i -> { at_ns = float_of_int i *. period_ns; bytes = packet_bytes })
+
+let video_gop ~rng ~mean_mbps ~frame_period_ns ~gop_length ~i_frame_ratio ~duration_ns =
+  if mean_mbps <= 0.0 || frame_period_ns <= 0.0 || duration_ns <= 0.0 then
+    invalid_arg "Trace.video_gop: non-positive parameter";
+  if gop_length < 1 then invalid_arg "Trace.video_gop: GOP needs at least one frame";
+  if i_frame_ratio < 1.0 then invalid_arg "Trace.video_gop: I frames cannot be smaller than P";
+  (* Solve P so that (ratio + (gop-1)) * P bytes per GOP hits the mean. *)
+  let gop_ns = float_of_int gop_length *. frame_period_ns in
+  let gop_bytes = mean_mbps /. 1000.0 *. gop_ns in
+  let p_bytes = gop_bytes /. (i_frame_ratio +. float_of_int (gop_length - 1)) in
+  let frames = int_of_float (duration_ns /. frame_period_ns) in
+  List.init frames (fun i ->
+      let base = if i mod gop_length = 0 then i_frame_ratio *. p_bytes else p_bytes in
+      let jitter = Noc_util.Rng.float_in rng 0.9 1.1 in
+      { at_ns = float_of_int i *. frame_period_ns; bytes = base *. jitter })

@@ -1,0 +1,42 @@
+(** Explicit packet traces for trace-driven simulation.
+
+    Where the fluid and on/off sources model a rate, a trace pins down
+    individual packet arrivals — either replayed from a file of a real
+    workload or generated here with the shapes the paper's benchmarks
+    describe (constant-bit-rate streams and MPEG-style video with
+    large I frames and small P frames). *)
+
+type event = {
+  at_ns : float;   (** arrival instant *)
+  bytes : float;   (** packet size *)
+}
+
+type t = event list
+(** Events in non-decreasing time order. *)
+
+val validate : t -> (unit, string) result
+(** Sorted, non-negative times, positive sizes. *)
+
+val total_bytes : t -> float
+
+val mean_rate_mbps : t -> duration_ns:float -> float
+(** Average rate over a window. *)
+
+val cbr :
+  rate_mbps:float -> packet_bytes:float -> duration_ns:float -> t
+(** Constant bit rate: equal packets at a fixed period chosen so the
+    rate matches.  @raise Invalid_argument on non-positive inputs. *)
+
+val video_gop :
+  rng:Noc_util.Rng.t ->
+  mean_mbps:float ->
+  frame_period_ns:float ->
+  gop_length:int ->
+  i_frame_ratio:float ->
+  duration_ns:float ->
+  t
+(** MPEG-style group-of-pictures traffic: every [gop_length]-th frame
+    is an I frame [i_frame_ratio] times larger than the P frames, sizes
+    jittered +-10 %, and the long-run mean matches [mean_mbps].
+    @raise Invalid_argument on non-positive parameters or
+    [i_frame_ratio < 1]. *)

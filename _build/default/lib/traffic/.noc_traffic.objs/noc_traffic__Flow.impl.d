@@ -1,0 +1,1 @@
+lib/traffic/flow.ml: Format Noc_util Printf

@@ -1,0 +1,1 @@
+lib/traffic/traffic_stats.ml: Float Flow Format List Noc_util Use_case

@@ -1,0 +1,1 @@
+lib/traffic/traffic_stats.mli: Format Noc_util Use_case

@@ -1,0 +1,1 @@
+lib/traffic/use_case.ml: Array Float Flow Format Hashtbl List Noc_util Printf

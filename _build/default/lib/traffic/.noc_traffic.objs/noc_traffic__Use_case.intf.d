@@ -1,0 +1,1 @@
+lib/traffic/use_case.mli: Flow Format Noc_util

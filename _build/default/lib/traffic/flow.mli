@@ -1,0 +1,46 @@
+(** A traffic flow: one directed communication between two cores,
+    annotated with its bandwidth and latency constraints (paper
+    Definition 2).
+
+    Aethereal-style NoCs serve two traffic classes (paper Sec 2):
+    guaranteed-throughput (GT) connections get TDMA slot reservations
+    that enforce their bandwidth/latency contract; best-effort (BE)
+    streams ride on whatever slots are left and get no guarantees. *)
+
+type service =
+  | Guaranteed   (** reserved TDMA slots; contract enforced *)
+  | Best_effort  (** leftover slots only; no contract *)
+
+type t = {
+  src : int;  (** source core id *)
+  dst : int;  (** destination core id *)
+  bandwidth : Noc_util.Units.bandwidth;
+      (** maximum traffic rate (GT: reserved; BE: offered load), MB/s *)
+  latency_ns : Noc_util.Units.latency;
+      (** maximum packet delay; [infinity] when unconstrained *)
+  service : service;
+}
+
+val v :
+  ?latency_ns:Noc_util.Units.latency ->
+  ?service:service ->
+  src:int -> dst:int -> Noc_util.Units.bandwidth -> t
+(** Flow constructor; latency defaults to unconstrained, service to
+    [Guaranteed]. *)
+
+val is_guaranteed : t -> bool
+
+val pair : t -> int * int
+(** The ordered [(src, dst)] pair. *)
+
+val validate : cores:int -> t -> (unit, string) result
+(** Endpoints in range, distinct, positive bandwidth, positive latency;
+    a best-effort flow may not carry a latency constraint (there is no
+    mechanism to honour it). *)
+
+val compare_bandwidth_desc : t -> t -> int
+(** Sort order of Algorithm 2 step 2: guaranteed flows before
+    best-effort ones, then non-increasing bandwidth, with ties broken
+    by (src, dst) for determinism. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t = {
+  use_cases : int;
+  cores : int;
+  min_flows : int;
+  max_flows : int;
+  mean_flows : float;
+  total_bandwidth : Noc_util.Units.bandwidth;
+  peak_use_case_bandwidth : Noc_util.Units.bandwidth;
+  max_flow_bandwidth : Noc_util.Units.bandwidth;
+  latency_constrained_flows : int;
+}
+
+let compute use_cases =
+  match use_cases with
+  | [] -> invalid_arg "Traffic_stats.compute: no use-cases"
+  | first :: _ ->
+    let cores = first.Use_case.cores in
+    List.iter
+      (fun u ->
+        if u.Use_case.cores <> cores then
+          invalid_arg "Traffic_stats.compute: use-cases disagree on core count")
+      use_cases;
+    let counts = List.map Use_case.flow_count use_cases in
+    let totals = List.map Use_case.total_bandwidth use_cases in
+    let constrained =
+      List.fold_left
+        (fun acc u ->
+          acc
+          + List.length (List.filter (fun f -> f.Flow.latency_ns <> infinity) u.Use_case.flows))
+        0 use_cases
+    in
+    {
+      use_cases = List.length use_cases;
+      cores;
+      min_flows = List.fold_left min max_int counts;
+      max_flows = List.fold_left max 0 counts;
+      mean_flows = Noc_util.Numeric.mean (List.map float_of_int counts);
+      total_bandwidth = List.fold_left ( +. ) 0.0 totals;
+      peak_use_case_bandwidth = List.fold_left Float.max 0.0 totals;
+      max_flow_bandwidth = List.fold_left (fun acc u -> Float.max acc (Use_case.max_bandwidth u)) 0.0 use_cases;
+      latency_constrained_flows = constrained;
+    }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%d use-cases over %d cores; flows/use-case %d..%d (mean %.1f);@ peak use-case %a; largest flow %a; %d latency-constrained flows@]"
+    t.use_cases t.cores t.min_flows t.max_flows t.mean_flows Noc_util.Units.pp_bandwidth
+    t.peak_use_case_bandwidth Noc_util.Units.pp_bandwidth t.max_flow_bandwidth
+    t.latency_constrained_flows

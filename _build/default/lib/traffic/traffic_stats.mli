@@ -1,0 +1,21 @@
+(** Aggregate statistics over a set of use-cases, used by the
+    experiment harness to characterise benchmarks (paper §6.1 describes
+    benchmarks by connection counts and bandwidth clusters). *)
+
+type t = {
+  use_cases : int;
+  cores : int;
+  min_flows : int;         (** fewest flows in any use-case *)
+  max_flows : int;
+  mean_flows : float;
+  total_bandwidth : Noc_util.Units.bandwidth;  (** summed over all use-cases *)
+  peak_use_case_bandwidth : Noc_util.Units.bandwidth;
+      (** largest per-use-case total *)
+  max_flow_bandwidth : Noc_util.Units.bandwidth;
+  latency_constrained_flows : int;  (** flows with a finite latency bound *)
+}
+
+val compute : Use_case.t list -> t
+(** @raise Invalid_argument on an empty list or mismatched core counts. *)
+
+val pp : Format.formatter -> t -> unit

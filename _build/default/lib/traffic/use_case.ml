@@ -1,0 +1,78 @@
+type t = {
+  id : int;
+  name : string;
+  cores : int;
+  flows : Flow.t list;
+}
+
+(* Merge duplicate ordered pairs: bandwidths add, latency constraints
+   tighten to the minimum (same rule as compound-mode generation). *)
+let merge_duplicates flows =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun f ->
+      (* GT and BE flows between the same pair stay distinct: they are
+         different hardware connections. *)
+      let key = (Flow.pair f, f.Flow.service) in
+      match Hashtbl.find_opt tbl key with
+      | None ->
+        Hashtbl.add tbl key f;
+        order := key :: !order
+      | Some g ->
+        Hashtbl.replace tbl key
+          (Flow.v ~src:f.Flow.src ~dst:f.Flow.dst ~service:f.Flow.service
+             ~latency_ns:(Float.min f.Flow.latency_ns g.Flow.latency_ns)
+             (f.Flow.bandwidth +. g.Flow.bandwidth)))
+    flows;
+  List.rev_map (Hashtbl.find tbl) !order
+
+let create ~id ~name ~cores flows =
+  List.iter
+    (fun f ->
+      match Flow.validate ~cores f with
+      | Ok () -> ()
+      | Error msg -> invalid_arg (Printf.sprintf "Use_case.create (%s): %s" name msg))
+    flows;
+  { id; name; cores; flows = merge_duplicates flows }
+
+let rename t ~id ~name = { t with id; name }
+
+let flow_count t = List.length t.flows
+
+let total_bandwidth t = List.fold_left (fun acc f -> acc +. f.Flow.bandwidth) 0.0 t.flows
+
+let max_bandwidth t = List.fold_left (fun acc f -> Float.max acc f.Flow.bandwidth) 0.0 t.flows
+
+let find_flow t ~src ~dst =
+  let matching = List.filter (fun f -> f.Flow.src = src && f.Flow.dst = dst) t.flows in
+  match List.filter Flow.is_guaranteed matching with
+  | gt :: _ -> Some gt
+  | [] -> ( match matching with f :: _ -> Some f | [] -> None)
+
+let guaranteed_flows t = List.filter Flow.is_guaranteed t.flows
+
+let best_effort_flows t = List.filter (fun f -> not (Flow.is_guaranteed f)) t.flows
+
+let sorted_flows_desc t = List.sort Flow.compare_bandwidth_desc t.flows
+
+let core_degree t =
+  let deg = Array.make t.cores 0 in
+  List.iter
+    (fun f ->
+      deg.(f.Flow.src) <- deg.(f.Flow.src) + 1;
+      deg.(f.Flow.dst) <- deg.(f.Flow.dst) + 1)
+    t.flows;
+  deg
+
+let communicating_cores t =
+  let deg = core_degree t in
+  let acc = ref [] in
+  for c = t.cores - 1 downto 0 do
+    if deg.(c) > 0 then acc := c :: !acc
+  done;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>use-case %d (%s): %d cores, %d flows, %a total@]" t.id t.name
+    t.cores (flow_count t) Noc_util.Units.pp_bandwidth (total_bandwidth t)

@@ -1,0 +1,44 @@
+(** A use-case: the communication of one application of the SoC
+    (paper §1).  All use-cases of a design share the same set of cores
+    but have independent flow sets and constraints. *)
+
+type t = private {
+  id : int;            (** index within the design's use-case list *)
+  name : string;
+  cores : int;         (** number of cores in the SoC *)
+  flows : Flow.t list; (** at most one flow per (ordered pair, service class) *)
+}
+
+val create : id:int -> name:string -> cores:int -> Flow.t list -> t
+(** Flows with the same ordered pair are merged (bandwidths summed,
+    latency constraints min-ed), matching the compound-mode rule.
+    @raise Invalid_argument when any flow fails [Flow.validate]. *)
+
+val rename : t -> id:int -> name:string -> t
+
+val flow_count : t -> int
+
+val total_bandwidth : t -> Noc_util.Units.bandwidth
+(** Sum of all flow bandwidths. *)
+
+val max_bandwidth : t -> Noc_util.Units.bandwidth
+(** Largest single-flow bandwidth; 0 when there are no flows. *)
+
+val find_flow : t -> src:int -> dst:int -> Flow.t option
+(** The first flow between the pair (the guaranteed one when both
+    classes are present). *)
+
+val guaranteed_flows : t -> Flow.t list
+
+val best_effort_flows : t -> Flow.t list
+
+val sorted_flows_desc : t -> Flow.t list
+(** Flows in Algorithm 2's order (non-increasing bandwidth). *)
+
+val core_degree : t -> int array
+(** Per core, the number of flows it appears in (in + out). *)
+
+val communicating_cores : t -> int list
+(** Cores with at least one flow, increasing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type align = Left | Right
+
+type t = {
+  header : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  let ncols = List.length t.header in
+  let n = List.length row in
+  if n > ncols then invalid_arg "Ascii_table.add_row: too many cells";
+  let padded = row @ List.init (ncols - n) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let add_float_row t label xs =
+  add_row t (label :: List.map (Printf.sprintf "%.3f") xs)
+
+let render ?(align = Right) t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad w s =
+    let fill = String.make (w - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line row =
+    String.concat "  " (List.map2 pad widths row)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line t.header :: sep :: List.map line rows)
+
+let print ?align t =
+  print_string (render ?align t);
+  print_newline ()

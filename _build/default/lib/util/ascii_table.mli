@@ -1,0 +1,26 @@
+(** Rendering of small result tables as aligned ASCII text.
+
+    The benchmark harness prints every reproduced figure as a table of
+    rows; this module keeps the formatting in one place. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : header:string list -> t
+(** Fresh table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** Convenience: a label cell followed by numbers printed as [%.3f]. *)
+
+val render : ?align:align -> t -> string
+(** Render with a separator line under the header.  Numeric-looking
+    cells read best with [~align:Right] (the default). *)
+
+val print : ?align:align -> t -> unit
+(** [render] to stdout, followed by a newline. *)

@@ -1,0 +1,77 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 core step: advance by the golden gamma, then mix. *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = bits64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int n))
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  let u = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (u /. 9007199254740992.0)
+
+let float_in t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p =
+  if p >= 1.0 then true
+  else if p <= 0.0 then false
+  else float t 1.0 < p
+
+let gaussian t ~mean ~stddev =
+  (* Box-Muller; guard against log 0 by redrawing. *)
+  let rec u1 () =
+    let x = float t 1.0 in
+    if x > 0.0 then x else u1 ()
+  in
+  let r = sqrt (-2.0 *. log (u1 ())) in
+  let theta = 2.0 *. Float.pi *. float t 1.0 in
+  mean +. (stddev *. r *. cos theta)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_list t xs = pick t (Array.of_list xs)
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Reservoir-free selection sampling (Knuth 3.4.2 S): O(n), ordered. *)
+  let rec loop i chosen acc =
+    if chosen = k then List.rev acc
+    else if n - i = k - chosen then
+      (* must take everything that remains *)
+      loop (i + 1) (chosen + 1) (i :: acc)
+    else if chance t (float_of_int (k - chosen) /. float_of_int (n - i)) then
+      loop (i + 1) (chosen + 1) (i :: acc)
+    else loop (i + 1) chosen acc
+  in
+  loop 0 0 []

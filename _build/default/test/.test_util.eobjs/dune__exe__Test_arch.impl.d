@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array List Noc_arch Noc_graph Option QCheck QCheck_alcotest Result

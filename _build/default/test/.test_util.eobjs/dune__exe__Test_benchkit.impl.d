@@ -1,0 +1,1 @@
+test/test_benchkit.ml: Alcotest Float List Noc_benchkit Noc_core Noc_traffic Printf

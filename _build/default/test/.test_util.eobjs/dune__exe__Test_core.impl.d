@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Format List Noc_arch Noc_benchkit Noc_core Noc_traffic Printf QCheck QCheck_alcotest Result String

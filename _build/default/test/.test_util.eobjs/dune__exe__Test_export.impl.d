@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Float List Noc_arch Noc_benchkit Noc_core Noc_export Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List Noc_graph Noc_util QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Format List Noc_arch Noc_benchkit Noc_core Noc_power Noc_rtl Noc_sim Noc_traffic Printf

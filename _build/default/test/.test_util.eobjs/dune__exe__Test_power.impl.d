@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Float List Noc_arch Noc_core Noc_graph Noc_power Noc_traffic Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array List Noc_arch Noc_benchkit Noc_core Noc_export Noc_traffic QCheck QCheck_alcotest

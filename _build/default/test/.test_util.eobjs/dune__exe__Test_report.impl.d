@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array List Noc_arch Noc_benchkit Noc_core Noc_report Noc_traffic Printf

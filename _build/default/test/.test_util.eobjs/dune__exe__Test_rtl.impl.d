@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array List Noc_arch Noc_benchkit Noc_core Noc_rtl Noc_traffic Printf QCheck QCheck_alcotest String

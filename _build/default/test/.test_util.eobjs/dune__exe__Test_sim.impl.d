@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Format List Noc_arch Noc_benchkit Noc_core Noc_sim Noc_traffic Noc_util Printf QCheck QCheck_alcotest Result

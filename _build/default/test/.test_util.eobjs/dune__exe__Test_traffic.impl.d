@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Float List Noc_traffic QCheck QCheck_alcotest Result

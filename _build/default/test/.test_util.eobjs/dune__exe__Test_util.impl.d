@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float List Noc_util Printf QCheck QCheck_alcotest String

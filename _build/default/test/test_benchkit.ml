@@ -1,0 +1,286 @@
+(* Tests for Noc_benchkit: synthetic generators (Sec 6.1), the SoC
+   design models and the experiment harness plumbing. *)
+
+module Flow = Noc_traffic.Flow
+module U = Noc_traffic.Use_case
+module Syn = Noc_benchkit.Synthetic
+module SD = Noc_benchkit.Soc_designs
+module E = Noc_benchkit.Experiments
+module DF = Noc_core.Design_flow
+
+let small_params =
+  { Syn.spread_params with cores = 10; flows_lo = 10; flows_hi = 25 }
+
+(* --- synthetic generator --------------------------------------------------- *)
+
+let test_generate_deterministic () =
+  let a = Syn.generate ~seed:5 ~params:small_params ~use_cases:3 in
+  let b = Syn.generate ~seed:5 ~params:small_params ~use_cases:3 in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check int) "same flow count" (U.flow_count x) (U.flow_count y);
+      Alcotest.(check (float 1e-9)) "same totals" (U.total_bandwidth x) (U.total_bandwidth y))
+    a b
+
+let test_generate_seed_sensitivity () =
+  let a = Syn.generate ~seed:5 ~params:small_params ~use_cases:1 in
+  let b = Syn.generate ~seed:6 ~params:small_params ~use_cases:1 in
+  Alcotest.(check bool) "different totals" true
+    (U.total_bandwidth (List.hd a) <> U.total_bandwidth (List.hd b))
+
+let test_generate_prefix_property () =
+  (* The sequential PRNG makes shorter runs prefixes of longer ones. *)
+  let five = Syn.generate ~seed:9 ~params:small_params ~use_cases:5 in
+  let two = Syn.generate ~seed:9 ~params:small_params ~use_cases:2 in
+  List.iteri
+    (fun i u ->
+      let v = List.nth five i in
+      Alcotest.(check (float 1e-9)) "same" (U.total_bandwidth u) (U.total_bandwidth v))
+    two
+
+let test_generate_ids_positional () =
+  let ucs = Syn.generate ~seed:1 ~params:small_params ~use_cases:4 in
+  List.iteri (fun i u -> Alcotest.(check int) "positional id" i u.U.id) ucs
+
+let test_generate_flow_counts_in_range () =
+  let ucs = Syn.generate ~seed:2 ~params:small_params ~use_cases:10 in
+  List.iter
+    (fun u ->
+      let n = U.flow_count u in
+      Alcotest.(check bool) "within range" true
+        (n >= small_params.Syn.flows_lo && n <= small_params.Syn.flows_hi))
+    ucs
+
+let test_generate_bandwidths_within_clusters () =
+  let max_hi =
+    List.fold_left (fun acc c -> Float.max acc c.Syn.bw_hi) 0.0 small_params.Syn.clusters
+  in
+  let min_lo =
+    List.fold_left (fun acc c -> Float.min acc c.Syn.bw_lo) infinity small_params.Syn.clusters
+  in
+  let ucs = Syn.generate ~seed:3 ~params:small_params ~use_cases:5 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun f ->
+          (* activity scales down to activity_lo, merges may sum pairs up *)
+          Alcotest.(check bool) "within scaled cluster band" true
+            (f.Flow.bandwidth >= min_lo *. small_params.Syn.activity_lo *. 0.99
+            && f.Flow.bandwidth <= 3.0 *. max_hi))
+        u.U.flows)
+    ucs
+
+let test_generate_latency_only_on_control () =
+  let ucs = Syn.generate ~seed:4 ~params:small_params ~use_cases:5 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun f ->
+          if f.Flow.latency_ns <> infinity then
+            (* only the control cluster is latency-constrained: 400-900 ns *)
+            Alcotest.(check bool) "control latency band" true
+              (f.Flow.latency_ns >= 400.0 && f.Flow.latency_ns <= 900.0))
+        u.U.flows)
+    ucs
+
+let test_bottleneck_concentration () =
+  let params =
+    {
+      small_params with
+      Syn.pattern = Syn.Bottleneck { hotspots = 1; fraction = 0.7 };
+      flows_lo = 40;
+      flows_hi = 60;
+      cores = 12;
+    }
+  in
+  let ucs = Syn.generate ~seed:11 ~params ~use_cases:4 in
+  List.iter
+    (fun u ->
+      let touching =
+        List.length (List.filter (fun f -> f.Flow.src = 0 || f.Flow.dst = 0) u.U.flows)
+      in
+      let frac = float_of_int touching /. float_of_int (U.flow_count u) in
+      Alcotest.(check bool)
+        (Printf.sprintf "hotspot share %.2f" frac)
+        true (frac > 0.4))
+    ucs
+
+let test_spread_not_concentrated () =
+  let ucs = Syn.generate ~seed:12 ~params:{ small_params with Syn.flows_lo = 40; flows_hi = 60 } ~use_cases:4 in
+  List.iter
+    (fun u ->
+      let touching =
+        List.length (List.filter (fun f -> f.Flow.src = 0 || f.Flow.dst = 0) u.U.flows)
+      in
+      let frac = float_of_int touching /. float_of_int (U.flow_count u) in
+      Alcotest.(check bool) "no hotspot" true (frac < 0.5))
+    ucs
+
+let test_family_similarity () =
+  let ucs = Syn.generate_family ~seed:13 ~params:small_params ~use_cases:4 ~similarity:0.9 in
+  let pairs u = List.map Flow.pair u.U.flows |> List.sort_uniq compare in
+  let base = pairs (List.hd ucs) in
+  List.iter
+    (fun u ->
+      let shared = List.length (List.filter (fun p -> List.mem p base) (pairs u)) in
+      let frac = float_of_int shared /. float_of_int (List.length base) in
+      Alcotest.(check bool) "most base pairs kept" true (frac > 0.6))
+    (List.tl ucs)
+
+let test_family_zero_similarity_distinct () =
+  let ucs = Syn.generate_family ~seed:14 ~params:small_params ~use_cases:2 ~similarity:0.0 in
+  let pairs u = List.map Flow.pair u.U.flows |> List.sort_uniq compare in
+  let base = pairs (List.hd ucs) in
+  let derived = pairs (List.nth ucs 1) in
+  let shared = List.length (List.filter (fun p -> List.mem p base) derived) in
+  (* random overlap is possible but must be far from total *)
+  Alcotest.(check bool) "mostly fresh" true
+    (float_of_int shared /. float_of_int (List.length derived) < 0.7)
+
+let test_generate_rejections () =
+  let bad name f =
+    Alcotest.(check bool) name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  bad "zero use-cases" (fun () -> Syn.generate ~seed:0 ~params:small_params ~use_cases:0);
+  bad "one core" (fun () ->
+      Syn.generate ~seed:0 ~params:{ small_params with Syn.cores = 1 } ~use_cases:1);
+  bad "bad flow range" (fun () ->
+      Syn.generate ~seed:0 ~params:{ small_params with Syn.flows_lo = 9; flows_hi = 2 } ~use_cases:1);
+  bad "bad similarity" (fun () ->
+      Syn.generate_family ~seed:0 ~params:small_params ~use_cases:2 ~similarity:1.5);
+  bad "bad activity" (fun () ->
+      Syn.generate ~seed:0 ~params:{ small_params with Syn.activity_lo = 0.0 } ~use_cases:1)
+
+(* --- SoC designs ------------------------------------------------------------ *)
+
+let test_viper_fragments_shape () =
+  Alcotest.(check int) "uc1 has 7 flows" 7 (U.flow_count SD.viper_fragment_1);
+  Alcotest.(check int) "uc2 has 8 flows" 8 (U.flow_count SD.viper_fragment_2);
+  Alcotest.(check int) "7 cores" 7 SD.viper_fragment_1.U.cores;
+  (* the published bandwidth multiset for use-case 1 *)
+  let bws u = List.sort compare (List.map (fun f -> f.Flow.bandwidth) u.U.flows) in
+  Alcotest.(check (list (float 1e-9))) "fig 2a values"
+    [ 50.0; 50.0; 50.0; 100.0; 100.0; 150.0; 200.0 ]
+    (bws SD.viper_fragment_1)
+
+let test_example1_matches_paper () =
+  match SD.example1_use_cases with
+  | [ u1; u2 ] ->
+    (* the largest flow across both use-cases is C3->C4 at 100 MB/s *)
+    Alcotest.(check (float 1e-9)) "uc1 max" 100.0 (U.max_bandwidth u1);
+    Alcotest.(check (float 1e-9)) "uc2 max" 52.0 (U.max_bandwidth u2);
+    (match U.find_flow u1 ~src:2 ~dst:3 with
+    | Some f -> Alcotest.(check (float 1e-9)) "C3->C4" 100.0 f.Flow.bandwidth
+    | None -> Alcotest.fail "C3->C4 missing")
+  | _ -> Alcotest.fail "two use-cases expected"
+
+let test_designs_have_paper_scale () =
+  let check_design name ucs expected_ucs =
+    Alcotest.(check int) (name ^ " use-case count") expected_ucs (List.length ucs);
+    List.iter
+      (fun u ->
+        let n = U.flow_count u in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s flows 50-150 (%d)" name n)
+          true
+          (n >= 40 && n <= 150))
+      ucs
+  in
+  check_design "D1" (SD.d1 ()) 4;
+  check_design "D2" (SD.d2 ()) 20;
+  check_design "D3" (SD.d3 ()) 8;
+  check_design "D4" (SD.d4 ()) 20
+
+let test_designs_deterministic () =
+  let a = SD.d1 () and b = SD.d1 () in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check (float 1e-9)) "same totals" (U.total_bandwidth x) (U.total_bandwidth y))
+    a b
+
+let test_fig4_spec_groups () =
+  match DF.run (SD.fig4_spec ()) with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    Alcotest.(check (list (list int))) "the four groups of Figure 4"
+      [ [ 0; 1; 2; 8 ]; [ 3; 4; 9 ]; [ 5; 6 ]; [ 7 ] ]
+      d.DF.groups
+
+(* --- experiments plumbing ----------------------------------------------------- *)
+
+let test_fig6_rows_small () =
+  let rows = E.fig6b ~counts:[ 2 ] () in
+  match rows with
+  | [ r ] ->
+    Alcotest.(check string) "label" "Sp-2" r.E.label;
+    Alcotest.(check bool) "ours feasible" true (r.E.ours.E.switches <> None);
+    (match r.E.ratio with
+    | Some x -> Alcotest.(check bool) "ratio <= 1" true (x <= 1.0 +. 1e-9)
+    | None -> Alcotest.fail "both methods should map at 2 use-cases")
+  | _ -> Alcotest.fail "one row expected"
+
+let test_ablation_slot_sweep_monotone () =
+  let rows = Noc_benchkit.Ablations.slot_table_sweep ~sizes:[ 16; 32 ] () in
+  match rows with
+  | [ small; large ] ->
+    (match (small.Noc_benchkit.Ablations.ours_switches, large.Noc_benchkit.Ablations.ours_switches) with
+    | Some a, Some b -> Alcotest.(check bool) "finer slots never hurt" true (b <= a)
+    | _ -> Alcotest.fail "both sizes should map")
+  | _ -> Alcotest.fail "two rows expected"
+
+let test_ablation_grouping_tradeoff () =
+  let rows = Noc_benchkit.Ablations.grouping_effect () in
+  Alcotest.(check int) "three groupings" 3 (List.length rows);
+  let first = List.hd rows and last = List.nth rows 2 in
+  (* fully re-configurable <= fully shared in NoC size; fully shared
+     needs zero rewrites *)
+  (match (first.Noc_benchkit.Ablations.switches, last.Noc_benchkit.Ablations.switches) with
+  | Some a, Some b -> Alcotest.(check bool) "reconfigurability shrinks the NoC" true (a <= b)
+  | _ -> Alcotest.fail "groupings should map");
+  Alcotest.(check (option int)) "one group rewrites nothing" (Some 0)
+    last.Noc_benchkit.Ablations.worst_reconfig_writes
+
+let test_fig7c_monotone () =
+  let rows = E.fig7c ~max_parallel:2 () in
+  match rows with
+  | [ one; two ] ->
+    Alcotest.(check int) "labels" 1 one.E.parallel;
+    (match (one.E.freq_mhz, two.E.freq_mhz) with
+    | Some a, Some b -> Alcotest.(check bool) "more parallel, more MHz" true (b >= a)
+    | _ -> Alcotest.fail "both parallelism levels must be feasible")
+  | _ -> Alcotest.fail "two rows expected"
+
+let () =
+  Alcotest.run "noc_benchkit"
+    [
+      ( "synthetic",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_generate_seed_sensitivity;
+          Alcotest.test_case "prefix property" `Quick test_generate_prefix_property;
+          Alcotest.test_case "positional ids" `Quick test_generate_ids_positional;
+          Alcotest.test_case "flow counts" `Quick test_generate_flow_counts_in_range;
+          Alcotest.test_case "cluster bandwidths" `Quick test_generate_bandwidths_within_clusters;
+          Alcotest.test_case "control latency" `Quick test_generate_latency_only_on_control;
+          Alcotest.test_case "bottleneck concentration" `Quick test_bottleneck_concentration;
+          Alcotest.test_case "spread balance" `Quick test_spread_not_concentrated;
+          Alcotest.test_case "family similarity" `Quick test_family_similarity;
+          Alcotest.test_case "family zero similarity" `Quick test_family_zero_similarity_distinct;
+          Alcotest.test_case "rejections" `Quick test_generate_rejections;
+        ] );
+      ( "soc_designs",
+        [
+          Alcotest.test_case "viper fragments" `Quick test_viper_fragments_shape;
+          Alcotest.test_case "example 1" `Quick test_example1_matches_paper;
+          Alcotest.test_case "paper scale" `Quick test_designs_have_paper_scale;
+          Alcotest.test_case "deterministic" `Quick test_designs_deterministic;
+          Alcotest.test_case "figure 4 spec" `Quick test_fig4_spec_groups;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "fig6 rows" `Quick test_fig6_rows_small;
+          Alcotest.test_case "ablation: slot sweep" `Slow test_ablation_slot_sweep_monotone;
+          Alcotest.test_case "ablation: grouping" `Slow test_ablation_grouping_tradeoff;
+          Alcotest.test_case "fig7c monotone" `Slow test_fig7c_monotone;
+        ] );
+    ]

@@ -1,0 +1,336 @@
+(* Tests for Noc_graph: priority queue, adjacency graphs, DFS
+   components, Dijkstra, union-find. *)
+
+module Pq = Noc_graph.Priority_queue
+module G = Noc_graph.Intgraph
+module Components = Noc_graph.Components
+module Sp = Noc_graph.Shortest_path
+module Uf = Noc_graph.Union_find
+module Rng = Noc_util.Rng
+
+(* --- priority queue --------------------------------------------------- *)
+
+let test_pq_empty () =
+  let q = Pq.create () in
+  Alcotest.(check bool) "empty" true (Pq.is_empty q);
+  Alcotest.(check bool) "pop none" true (Pq.pop_min q = None)
+
+let test_pq_ordering () =
+  let q = Pq.create () in
+  List.iter (fun p -> Pq.push q ~priority:p p) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = List.init 5 (fun _ -> match Pq.pop_min q with Some (p, _) -> p | None -> nan) in
+  Alcotest.(check (list (float 0.0))) "ascending" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] order
+
+let test_pq_peek () =
+  let q = Pq.create () in
+  Pq.push q ~priority:2.0 "b";
+  Pq.push q ~priority:1.0 "a";
+  (match Pq.peek_min q with
+  | Some (p, v) ->
+    Alcotest.(check (float 0.0)) "peek priority" 1.0 p;
+    Alcotest.(check string) "peek value" "a" v
+  | None -> Alcotest.fail "expected element");
+  Alcotest.(check int) "peek does not pop" 2 (Pq.length q)
+
+let test_pq_duplicates () =
+  let q = Pq.create () in
+  Pq.push q ~priority:1.0 "x";
+  Pq.push q ~priority:1.0 "y";
+  Alcotest.(check int) "both kept" 2 (Pq.length q)
+
+let test_pq_clear () =
+  let q = Pq.create () in
+  Pq.push q ~priority:1.0 0;
+  Pq.clear q;
+  Alcotest.(check bool) "cleared" true (Pq.is_empty q)
+
+let prop_pq_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let q = Pq.create () in
+      List.iter (fun x -> Pq.push q ~priority:x x) xs;
+      let rec drain acc =
+        match Pq.pop_min q with Some (p, _) -> drain (p :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+(* --- intgraph ---------------------------------------------------------- *)
+
+let test_graph_basic () =
+  let g = G.create ~directed:true ~nodes:3 in
+  let e0 = G.add_edge g 0 1 in
+  let e1 = G.add_edge g 1 2 in
+  Alcotest.(check int) "first id" 0 e0;
+  Alcotest.(check int) "second id" 1 e1;
+  Alcotest.(check int) "nodes" 3 (G.node_count g);
+  Alcotest.(check int) "edges" 2 (G.edge_count g);
+  Alcotest.(check (list (pair int int))) "succ 0" [ (1, 0) ] (G.succ g 0);
+  Alcotest.(check bool) "mem" true (G.mem_edge g 0 1);
+  Alcotest.(check bool) "directed: no reverse" false (G.mem_edge g 1 0)
+
+let test_graph_undirected_reverse () =
+  let g = G.create ~directed:false ~nodes:2 in
+  ignore (G.add_edge g 0 1);
+  Alcotest.(check bool) "forward" true (G.mem_edge g 0 1);
+  Alcotest.(check bool) "backward" true (G.mem_edge g 1 0);
+  Alcotest.(check int) "one logical edge" 1 (G.edge_count g)
+
+let test_graph_parallel_edges () =
+  let g = G.create ~directed:true ~nodes:2 in
+  let a = G.add_edge g 0 1 in
+  let b = G.add_edge g 0 1 in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check int) "degree" 2 (G.degree g 0)
+
+let test_graph_out_of_range () =
+  let g = G.create ~directed:true ~nodes:2 in
+  Alcotest.check_raises "bad node" (Invalid_argument "Intgraph: node out of range") (fun () ->
+      ignore (G.add_edge g 0 5))
+
+let test_graph_fold_edges () =
+  let g = G.create ~directed:true ~nodes:3 in
+  ignore (G.add_edge g 0 1);
+  ignore (G.add_edge g 1 2);
+  let collected = G.fold_edges g ~init:[] ~f:(fun acc u v id -> (u, v, id) :: acc) in
+  Alcotest.(check (list (triple int int int))) "insertion order" [ (1, 2, 1); (0, 1, 0) ] collected
+
+(* --- components -------------------------------------------------------- *)
+
+let test_components_isolated () =
+  let g = G.create ~directed:false ~nodes:3 in
+  Alcotest.(check (list (list int))) "three singletons" [ [ 0 ]; [ 1 ]; [ 2 ] ]
+    (Components.connected_components g)
+
+let test_components_chain () =
+  let g = G.create ~directed:false ~nodes:4 in
+  ignore (G.add_edge g 0 1);
+  ignore (G.add_edge g 1 2);
+  Alcotest.(check (list (list int))) "chain + isolated" [ [ 0; 1; 2 ]; [ 3 ] ]
+    (Components.connected_components g)
+
+let test_components_rejects_directed () =
+  let g = G.create ~directed:true ~nodes:2 in
+  Alcotest.check_raises "directed"
+    (Invalid_argument "Components.connected_components: directed graph") (fun () ->
+      ignore (Components.connected_components g))
+
+let test_component_ids () =
+  let g = G.create ~directed:false ~nodes:4 in
+  ignore (G.add_edge g 2 3);
+  let ids = Components.component_ids g in
+  Alcotest.(check bool) "2,3 same" true (ids.(2) = ids.(3));
+  Alcotest.(check bool) "0,1 differ" true (ids.(0) <> ids.(1))
+
+let test_reachable_directed () =
+  let g = G.create ~directed:true ~nodes:3 in
+  ignore (G.add_edge g 0 1);
+  (* 2 is unreachable from 0; 1 cannot reach back *)
+  Alcotest.(check (list int)) "from 0" [ 0; 1 ] (Components.reachable g 0);
+  Alcotest.(check (list int)) "from 1" [ 1 ] (Components.reachable g 1)
+
+let test_is_connected () =
+  let g = G.create ~directed:false ~nodes:2 in
+  Alcotest.(check bool) "disconnected" false (Components.is_connected g);
+  ignore (G.add_edge g 0 1);
+  Alcotest.(check bool) "connected" true (Components.is_connected g)
+
+(* Random graph: DFS components must agree with union-find. *)
+let prop_components_match_union_find =
+  QCheck.Test.make ~name:"DFS components = union-find groups" ~count:100
+    QCheck.(pair small_int (list (pair (int_bound 19) (int_bound 19))))
+    (fun (_, edges) ->
+      let n = 20 in
+      let g = G.create ~directed:false ~nodes:n in
+      let uf = Uf.create n in
+      List.iter
+        (fun (u, v) ->
+          if u <> v then begin
+            ignore (G.add_edge g u v);
+            Uf.union uf u v
+          end)
+        edges;
+      Components.connected_components g = Uf.groups uf)
+
+(* --- dijkstra ----------------------------------------------------------- *)
+
+let unit_cost ~edge:_ ~src:_ ~dst:_ = Some 1.0
+
+let line_graph n =
+  let g = G.create ~directed:true ~nodes:n in
+  for i = 0 to n - 2 do
+    ignore (G.add_edge g i (i + 1))
+  done;
+  g
+
+let test_dijkstra_line () =
+  let g = line_graph 5 in
+  match Sp.dijkstra g ~cost:unit_cost ~source:0 ~target:4 with
+  | Some p ->
+    Alcotest.(check (float 1e-9)) "cost 4" 4.0 p.Sp.cost;
+    Alcotest.(check (list int)) "nodes" [ 0; 1; 2; 3; 4 ] p.Sp.nodes;
+    Alcotest.(check (list int)) "edges" [ 0; 1; 2; 3 ] p.Sp.edges
+  | None -> Alcotest.fail "path expected"
+
+let test_dijkstra_unreachable () =
+  let g = line_graph 3 in
+  Alcotest.(check bool) "no reverse path" true
+    (Sp.dijkstra g ~cost:unit_cost ~source:2 ~target:0 = None)
+
+let test_dijkstra_source_is_target () =
+  let g = line_graph 2 in
+  match Sp.dijkstra g ~cost:unit_cost ~source:0 ~target:0 with
+  | Some p ->
+    Alcotest.(check (float 0.0)) "zero cost" 0.0 p.Sp.cost;
+    Alcotest.(check (list int)) "trivial" [ 0 ] p.Sp.nodes
+  | None -> Alcotest.fail "trivial path expected"
+
+let test_dijkstra_prefers_cheap_detour () =
+  (* 0->1 expensive direct, 0->2->1 cheap. *)
+  let g = G.create ~directed:true ~nodes:3 in
+  let direct = G.add_edge g 0 1 in
+  ignore (G.add_edge g 0 2);
+  ignore (G.add_edge g 2 1);
+  let cost ~edge ~src:_ ~dst:_ = if edge = direct then Some 10.0 else Some 1.0 in
+  match Sp.dijkstra g ~cost ~source:0 ~target:1 with
+  | Some p ->
+    Alcotest.(check (float 1e-9)) "detour cost" 2.0 p.Sp.cost;
+    Alcotest.(check (list int)) "via 2" [ 0; 2; 1 ] p.Sp.nodes
+  | None -> Alcotest.fail "path expected"
+
+let test_dijkstra_respects_unusable_edges () =
+  let g = line_graph 3 in
+  let cost ~edge ~src:_ ~dst:_ = if edge = 1 then None else Some 1.0 in
+  Alcotest.(check bool) "blocked" true (Sp.dijkstra g ~cost ~source:0 ~target:2 = None)
+
+let test_dijkstra_negative_cost_rejected () =
+  let g = line_graph 2 in
+  Alcotest.check_raises "negative" (Invalid_argument "Shortest_path: negative cost") (fun () ->
+      ignore
+        (Sp.dijkstra g ~cost:(fun ~edge:_ ~src:_ ~dst:_ -> Some (-1.0)) ~source:0 ~target:1))
+
+let test_dijkstra_all_distances () =
+  let g = line_graph 4 in
+  let dist, parent = Sp.dijkstra_all g ~cost:unit_cost ~source:0 in
+  Alcotest.(check (array (float 1e-9))) "distances" [| 0.0; 1.0; 2.0; 3.0 |] dist;
+  Alcotest.(check int) "source parent" (-1) parent.(0)
+
+let test_hop_path_equals_unit_dijkstra () =
+  let g = G.create ~directed:true ~nodes:4 in
+  ignore (G.add_edge g 0 1);
+  ignore (G.add_edge g 1 3);
+  ignore (G.add_edge g 0 2);
+  ignore (G.add_edge g 2 3);
+  match Sp.hop_path g ~source:0 ~target:3 with
+  | Some p -> Alcotest.(check (float 1e-9)) "2 hops" 2.0 p.Sp.cost
+  | None -> Alcotest.fail "path expected"
+
+(* Random DAG-ish graphs: dijkstra with unit costs = BFS distance. *)
+let prop_dijkstra_unit_equals_bfs =
+  QCheck.Test.make ~name:"unit-cost dijkstra = BFS" ~count:100
+    QCheck.(list (pair (int_bound 14) (int_bound 14)))
+    (fun edges ->
+      let n = 15 in
+      let g = G.create ~directed:true ~nodes:n in
+      List.iter (fun (u, v) -> if u <> v then ignore (G.add_edge g u v)) edges;
+      (* BFS from 0 *)
+      let dist = Array.make n max_int in
+      dist.(0) <- 0;
+      let q = Queue.create () in
+      Queue.push 0 q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        G.iter_succ g u (fun v _ ->
+            if dist.(v) = max_int then begin
+              dist.(v) <- dist.(u) + 1;
+              Queue.push v q
+            end)
+      done;
+      let ddist, _ = Sp.dijkstra_all g ~cost:unit_cost ~source:0 in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let bfs = if dist.(v) = max_int then infinity else float_of_int dist.(v) in
+        if bfs <> ddist.(v) then ok := false
+      done;
+      !ok)
+
+(* --- union-find --------------------------------------------------------- *)
+
+let test_uf_basics () =
+  let uf = Uf.create 4 in
+  Alcotest.(check int) "initial count" 4 (Uf.count uf);
+  Uf.union uf 0 1;
+  Alcotest.(check bool) "same" true (Uf.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Uf.same uf 0 2);
+  Alcotest.(check int) "count after union" 3 (Uf.count uf)
+
+let test_uf_union_idempotent () =
+  let uf = Uf.create 3 in
+  Uf.union uf 0 1;
+  Uf.union uf 0 1;
+  Alcotest.(check int) "count stable" 2 (Uf.count uf)
+
+let test_uf_groups () =
+  let uf = Uf.create 5 in
+  Uf.union uf 0 4;
+  Uf.union uf 1 2;
+  Alcotest.(check (list (list int))) "groups" [ [ 0; 4 ]; [ 1; 2 ]; [ 3 ] ] (Uf.groups uf)
+
+let test_uf_transitivity () =
+  let uf = Uf.create 4 in
+  Uf.union uf 0 1;
+  Uf.union uf 1 2;
+  Alcotest.(check bool) "0~2" true (Uf.same uf 0 2)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pq_sorts; prop_components_match_union_find; prop_dijkstra_unit_equals_bfs ]
+
+let () =
+  Alcotest.run "noc_graph"
+    [
+      ( "priority_queue",
+        [
+          Alcotest.test_case "empty" `Quick test_pq_empty;
+          Alcotest.test_case "ordering" `Quick test_pq_ordering;
+          Alcotest.test_case "peek" `Quick test_pq_peek;
+          Alcotest.test_case "duplicates" `Quick test_pq_duplicates;
+          Alcotest.test_case "clear" `Quick test_pq_clear;
+        ] );
+      ( "intgraph",
+        [
+          Alcotest.test_case "basic" `Quick test_graph_basic;
+          Alcotest.test_case "undirected reverse" `Quick test_graph_undirected_reverse;
+          Alcotest.test_case "parallel edges" `Quick test_graph_parallel_edges;
+          Alcotest.test_case "out of range" `Quick test_graph_out_of_range;
+          Alcotest.test_case "fold edges" `Quick test_graph_fold_edges;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "isolated" `Quick test_components_isolated;
+          Alcotest.test_case "chain" `Quick test_components_chain;
+          Alcotest.test_case "rejects directed" `Quick test_components_rejects_directed;
+          Alcotest.test_case "component ids" `Quick test_component_ids;
+          Alcotest.test_case "reachable directed" `Quick test_reachable_directed;
+          Alcotest.test_case "is_connected" `Quick test_is_connected;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "line graph" `Quick test_dijkstra_line;
+          Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+          Alcotest.test_case "source=target" `Quick test_dijkstra_source_is_target;
+          Alcotest.test_case "cheap detour" `Quick test_dijkstra_prefers_cheap_detour;
+          Alcotest.test_case "unusable edges" `Quick test_dijkstra_respects_unusable_edges;
+          Alcotest.test_case "negative cost rejected" `Quick test_dijkstra_negative_cost_rejected;
+          Alcotest.test_case "single-source distances" `Quick test_dijkstra_all_distances;
+          Alcotest.test_case "hop path" `Quick test_hop_path_equals_unit_dijkstra;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basics" `Quick test_uf_basics;
+          Alcotest.test_case "idempotent union" `Quick test_uf_union_idempotent;
+          Alcotest.test_case "groups" `Quick test_uf_groups;
+          Alcotest.test_case "transitivity" `Quick test_uf_transitivity;
+        ] );
+      ("properties", qcheck_cases);
+    ]

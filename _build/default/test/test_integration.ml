@@ -1,0 +1,311 @@
+(* Integration tests: the complete pipeline — design flow, analytic
+   verification, slot-accurate simulation, VHDL generation, power
+   analysis — on the paper's worked examples and configuration
+   variants (XY routing, constrained NI links). *)
+
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Turn = Noc_arch.Turn_model
+module Flow = Noc_traffic.Flow
+module U = Noc_traffic.Use_case
+module Mapping = Noc_core.Mapping
+module Verify = Noc_core.Verify
+module DF = Noc_core.Design_flow
+module Sim = Noc_sim.Simulator
+module SD = Noc_benchkit.Soc_designs
+
+let full_pipeline ~config spec =
+  match DF.run ~config spec with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    Alcotest.(check bool) "verified" true (DF.verified d);
+    let m = d.DF.mapping in
+    (* every use-case configuration simulates within contract *)
+    List.iter
+      (fun u ->
+        let routes = Mapping.routes_of_use_case m u.U.id in
+        let res = Sim.simulate ~config:m.Mapping.config ~routes ~duration_slots:3200 in
+        Alcotest.(check bool)
+          (Printf.sprintf "uc %d simulates in contract" u.U.id)
+          true (Sim.within_contract res))
+      d.DF.all_use_cases;
+    (* the RTL lints clean *)
+    let vhdl = Noc_rtl.Netlist.generate ~design_name:spec.DF.name m in
+    Alcotest.(check bool) "vhdl well-formed" true (Noc_rtl.Wellformed.check vhdl = Ok ());
+    (* power/area sane *)
+    Alcotest.(check bool) "area positive" true (Noc_power.Area_model.noc_area m > 0.0);
+    Alcotest.(check bool) "power positive" true
+      ((Noc_power.Power_model.noc_power m).Noc_power.Power_model.total_mw > 0.0);
+    d
+
+let test_viper_pipeline () =
+  let spec =
+    {
+      DF.name = "viper-fragment";
+      use_cases =
+        [ SD.viper_fragment_1; U.rename SD.viper_fragment_2 ~id:1 ~name:"viper-uc2" ];
+      parallel = [];
+      smooth = [ (0, 1) ];
+    }
+  in
+  let config = { Config.default with nis_per_switch = 2 } in
+  let d = full_pipeline ~config spec in
+  Alcotest.(check (list (list int))) "single shared configuration" [ [ 0; 1 ] ] d.DF.groups
+
+let test_example1_with_parallel_mode () =
+  let spec =
+    { DF.name = "example1"; use_cases = SD.example1_use_cases; parallel = [ [ 0; 1 ] ]; smooth = [] }
+  in
+  let config = { Config.default with nis_per_switch = 1 } in
+  let d = full_pipeline ~config spec in
+  (* the compound mode exists and sums the shared pair *)
+  match d.DF.compounds with
+  | [ c ] -> (
+    match U.find_flow c.Noc_core.Compound.use_case ~src:2 ~dst:3 with
+    | Some f -> Alcotest.(check (float 1e-9)) "100+42" 142.0 f.Flow.bandwidth
+    | None -> Alcotest.fail "compound pair missing")
+  | _ -> Alcotest.fail "one compound expected"
+
+let test_xy_routing_variant () =
+  let config = { Config.default with routing = Config.Xy; nis_per_switch = 1 } in
+  let spec = DF.spec_of_use_cases ~name:"xy" SD.example1_use_cases in
+  let d = full_pipeline ~config spec in
+  let m = d.DF.mapping in
+  (* every route is XY-legal, hence deadlock-free by construction *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "xy legal" true (Turn.xy_legal m.Mapping.mesh r))
+    m.Mapping.routes
+
+let test_torus_variant () =
+  (* Torus topology (paper Sec 5: the methodology applies to any
+     topology).  Min-cost routing on a small design tends to an acyclic
+     CDG, so the full pipeline still verifies. *)
+  let config = { Config.default with topology = Noc_arch.Mesh.Torus; nis_per_switch = 1 } in
+  let spec = DF.spec_of_use_cases ~name:"torus" SD.example1_use_cases in
+  let d = full_pipeline ~config spec in
+  Alcotest.(check bool) "designed on a torus" true
+    (Mesh.kind d.DF.mapping.Mapping.mesh = Noc_arch.Mesh.Torus)
+
+let test_constrained_ni_variant () =
+  let config = { Config.default with constrain_ni_links = true; nis_per_switch = 2 } in
+  let spec = DF.spec_of_use_cases ~name:"ni" SD.example1_use_cases in
+  ignore (full_pipeline ~config spec)
+
+let test_constrained_ni_rejects_hot_core () =
+  (* three 900 MB/s flows into one core exceed a 2000 MB/s NI link *)
+  let ucs =
+    [
+      U.create ~id:0 ~name:"hot" ~cores:4
+        [ Flow.v ~src:1 ~dst:0 900.0; Flow.v ~src:2 ~dst:0 900.0; Flow.v ~src:3 ~dst:0 900.0 ];
+    ]
+  in
+  let config = { Config.default with constrain_ni_links = true; max_mesh_dim = 4 } in
+  match Mapping.map_design ~config ~groups:[ [ 0 ] ] ucs with
+  | Ok _ -> Alcotest.fail "NI budget should be exceeded"
+  | Error f -> Alcotest.(check bool) "attempts recorded" true (f.Mapping.attempts <> [])
+
+let test_unconstrained_ni_accepts_hot_core () =
+  let ucs =
+    [
+      U.create ~id:0 ~name:"hot" ~cores:4
+        [ Flow.v ~src:1 ~dst:0 900.0; Flow.v ~src:2 ~dst:0 900.0; Flow.v ~src:3 ~dst:0 900.0 ];
+    ]
+  in
+  match Mapping.map_design ~groups:[ [ 0 ] ] ucs with
+  | Ok _ -> ()
+  | Error f -> Alcotest.fail (Format.asprintf "%a" Mapping.pp_failure f)
+
+let test_multi_group_reconfiguration_differs () =
+  (* Two independent use-cases may take different paths for the same
+     pair (dynamic re-configuration); same group members must not. *)
+  let ucs =
+    [
+      U.create ~id:0 ~name:"a" ~cores:4 [ Flow.v ~src:0 ~dst:1 400.0; Flow.v ~src:2 ~dst:3 700.0 ];
+      U.create ~id:1 ~name:"b" ~cores:4 [ Flow.v ~src:0 ~dst:1 300.0 ];
+    ]
+  in
+  let config = { Config.default with nis_per_switch = 1 } in
+  match Mapping.map_design ~config ~groups:[ [ 0 ]; [ 1 ] ] ucs with
+  | Error f -> Alcotest.fail (Format.asprintf "%a" Mapping.pp_failure f)
+  | Ok m ->
+    let r0 =
+      List.find (fun r -> r.Noc_arch.Route.use_case = 0 && r.Noc_arch.Route.src_core = 0) m.Mapping.routes
+    in
+    let r1 =
+      List.find (fun r -> r.Noc_arch.Route.use_case = 1 && r.Noc_arch.Route.src_core = 0) m.Mapping.routes
+    in
+    (* the shared mapping forces the same endpoints... *)
+    Alcotest.(check int) "same src switch" r0.Noc_arch.Route.src_switch r1.Noc_arch.Route.src_switch;
+    Alcotest.(check int) "same dst switch" r0.Noc_arch.Route.dst_switch r1.Noc_arch.Route.dst_switch
+
+let test_d1_designs_and_verifies () =
+  let spec = DF.spec_of_use_cases ~name:"D1" (SD.d1 ()) in
+  match DF.run spec with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    Alcotest.(check bool) "verified" true (DF.verified d);
+    Alcotest.(check bool) "compact NoC" true (DF.switch_count d <= 9)
+
+let test_ours_never_larger_than_wc () =
+  (* On the paper's designs the multi-use-case method never needs more
+     switches than the WC baseline. *)
+  List.iter
+    (fun (name, ucs) ->
+      let ours =
+        match DF.run (DF.spec_of_use_cases ~name ucs) with
+        | Ok d -> DF.switch_count d
+        | Error _ -> max_int
+      in
+      match Noc_core.Worst_case.map_design ucs with
+      | Ok wc ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: ours (%d) <= wc (%d)" name ours (Mapping.switch_count wc))
+          true
+          (ours <= Mapping.switch_count wc)
+      | Error _ -> ())
+    [ ("D1", SD.d1 ()); ("D3", SD.d3 ()) ]
+
+let test_best_effort_pipeline () =
+  (* GT + BE mix: the file transfer is best-effort; the design flow
+     routes it with no reservation and the simulator serves it from
+     leftover slots while the GT contracts hold. *)
+  let ucs =
+    [
+      U.create ~id:0 ~name:"mixed" ~cores:5
+        [
+          Flow.v ~src:0 ~dst:1 400.0;
+          Flow.v ~src:2 ~dst:3 ~latency_ns:400.0 30.0;
+          Flow.v ~src:4 ~dst:0 ~service:Noc_traffic.Flow.Best_effort 80.0;
+        ];
+    ]
+  in
+  let config = { Config.default with nis_per_switch = 1 } in
+  let d = full_pipeline ~config (DF.spec_of_use_cases ~name:"gt-be" ucs) in
+  let m = d.DF.mapping in
+  let be_routes =
+    List.filter (fun r -> r.Noc_arch.Route.service = Noc_arch.Route.Be) m.Mapping.routes
+  in
+  Alcotest.(check int) "one BE route" 1 (List.length be_routes);
+  List.iter
+    (fun r ->
+      Alcotest.(check (list int)) "BE holds no slots" [] r.Noc_arch.Route.slot_starts)
+    be_routes;
+  (* the BE stream actually moves data in simulation *)
+  let res =
+    Sim.simulate ~config:m.Mapping.config ~routes:(Mapping.routes_of_use_case m 0)
+      ~duration_slots:6400
+  in
+  match
+    List.find_opt (fun c -> c.Sim.service = Noc_arch.Route.Be) res.Sim.conns
+  with
+  | Some c -> Alcotest.(check bool) "BE delivered > 0" true (c.Sim.delivered_mbps > 1.0)
+  | None -> Alcotest.fail "BE connection missing in simulation"
+
+let test_be_does_not_consume_gt_capacity () =
+  (* A BE flow must not shrink the slots available to later GT flows:
+     mapping the same design with and without the BE flow yields the
+     same GT reservations. *)
+  let gt_flows = [ Flow.v ~src:0 ~dst:1 800.0; Flow.v ~src:2 ~dst:3 400.0 ] in
+  let with_be =
+    [ U.create ~id:0 ~name:"w" ~cores:4
+        (gt_flows @ [ Flow.v ~src:1 ~dst:2 ~service:Noc_traffic.Flow.Best_effort 500.0 ]) ]
+  in
+  let without_be = [ U.create ~id:0 ~name:"wo" ~cores:4 gt_flows ] in
+  let config = { Config.default with nis_per_switch = 1 } in
+  match
+    ( Mapping.map_design ~config ~groups:[ [ 0 ] ] with_be,
+      Mapping.map_design ~config ~groups:[ [ 0 ] ] without_be )
+  with
+  | Ok a, Ok b ->
+    let gt_slots m =
+      List.filter_map
+        (fun r ->
+          if r.Noc_arch.Route.service = Noc_arch.Route.Gt then
+            Some (r.Noc_arch.Route.src_core, r.Noc_arch.Route.dst_core,
+                  List.length r.Noc_arch.Route.slot_starts)
+          else None)
+        m.Mapping.routes
+      |> List.sort compare
+    in
+    Alcotest.(check bool) "same GT reservations" true (gt_slots a = gt_slots b)
+  | _ -> Alcotest.fail "both designs must map"
+
+let test_express_mesh_design () =
+  (* Custom topology: a 4x1 line with an express channel between the
+     ends.  map_on_mesh accepts any Mesh.t, so the flow runs unchanged
+     and the large end-to-end flow takes the express link. *)
+  let mesh = Mesh.with_express (Mesh.create ~width:4 ~height:1) ~express:[ (0, 3) ] in
+  let ucs =
+    [ U.create ~id:0 ~name:"line" ~cores:4
+        [ Flow.v ~src:0 ~dst:3 800.0; Flow.v ~src:1 ~dst:2 400.0 ] ]
+  in
+  let config = { Config.default with nis_per_switch = 1 } in
+  match Mapping.map_on_mesh ~config ~mesh ~groups:[ [ 0 ] ] ucs with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    let report = Verify.verify m ucs in
+    Alcotest.(check bool) "verified on express mesh" true (Verify.ok report);
+    let big =
+      List.find (fun r -> r.Noc_arch.Route.bandwidth > 500.0) m.Mapping.routes
+    in
+    Alcotest.(check bool) "big flow uses a short path" true
+      (List.length big.Noc_arch.Route.links <= 1)
+
+let test_mobile_phone_pipeline () =
+  let ucs = SD.mobile_phone () in
+  let spec =
+    {
+      DF.name = "mobile";
+      use_cases = ucs;
+      parallel = [ [ 0; 3 ] ] (* call + music *);
+      smooth = [ (4, 0) ] (* standby -> call must be instant *);
+    }
+  in
+  let config = { Config.default with nis_per_switch = 3 } in
+  let d = full_pipeline ~config spec in
+  (* the switching analysis covers every pair and smooth pairs are free *)
+  let costs = DF.reconfiguration d in
+  let n = List.length d.DF.all_use_cases in
+  Alcotest.(check int) "pair count" (n * (n - 1) / 2) (List.length costs);
+  List.iter
+    (fun c ->
+      if c.Noc_core.Reconfig.smooth then
+        Alcotest.(check int) "smooth is free" 0 c.Noc_core.Reconfig.slot_writes)
+    costs
+
+let test_refined_design_full_pipeline () =
+  let spec = DF.spec_of_use_cases ~name:"refined" SD.example1_use_cases in
+  let config = { Config.default with nis_per_switch = 1 } in
+  match DF.run ~config ~refine:true spec with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    Alcotest.(check bool) "verified after refinement" true (DF.verified d);
+    match d.DF.refinement with
+    | Some o ->
+      Alcotest.(check bool) "refinement did not regress" true
+        (o.Noc_core.Refine.final_cost <= o.Noc_core.Refine.initial_cost +. 1e-9)
+    | None -> Alcotest.fail "refinement outcome missing"
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "viper fragment" `Quick test_viper_pipeline;
+          Alcotest.test_case "example1 + parallel mode" `Quick test_example1_with_parallel_mode;
+          Alcotest.test_case "XY routing" `Quick test_xy_routing_variant;
+          Alcotest.test_case "torus topology" `Quick test_torus_variant;
+          Alcotest.test_case "constrained NI links" `Quick test_constrained_ni_variant;
+          Alcotest.test_case "NI budget rejects hot core" `Quick test_constrained_ni_rejects_hot_core;
+          Alcotest.test_case "unconstrained accepts hot core" `Quick test_unconstrained_ni_accepts_hot_core;
+          Alcotest.test_case "re-configuration across groups" `Quick test_multi_group_reconfiguration_differs;
+          Alcotest.test_case "D1 designs and verifies" `Slow test_d1_designs_and_verifies;
+          Alcotest.test_case "ours <= WC" `Slow test_ours_never_larger_than_wc;
+          Alcotest.test_case "refined pipeline" `Quick test_refined_design_full_pipeline;
+          Alcotest.test_case "GT+BE pipeline" `Quick test_best_effort_pipeline;
+          Alcotest.test_case "BE leaves GT capacity" `Quick test_be_does_not_consume_gt_capacity;
+          Alcotest.test_case "mobile phone SoC" `Quick test_mobile_phone_pipeline;
+          Alcotest.test_case "express-channel mesh" `Quick test_express_mesh_design;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+(* Tests for Noc_power: DVS/DFS model, area model, power model,
+   minimum-frequency search, Pareto sweep. *)
+
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Flow = Noc_traffic.Flow
+module U = Noc_traffic.Use_case
+module Mapping = Noc_core.Mapping
+module Dvfs = Noc_power.Dvfs
+module Area = Noc_power.Area_model
+module Power = Noc_power.Power_model
+module Min_freq = Noc_power.Min_freq
+module Pareto = Noc_power.Pareto
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let uc ~id ~cores flows = U.create ~id ~name:(Printf.sprintf "u%d" id) ~cores flows
+
+let test_dvfs_voltage_ratio () =
+  check_float "half freq" (sqrt 0.5) (Dvfs.voltage_ratio ~freq:250.0 ~base:500.0);
+  check_float "same" 1.0 (Dvfs.voltage_ratio ~freq:500.0 ~base:500.0)
+
+let test_dvfs_power_ratio () =
+  check_float "P ~ f^2" 0.25 (Dvfs.power_ratio ~freq:250.0 ~base:500.0);
+  check_float "identity" 1.0 (Dvfs.power_ratio ~freq:500.0 ~base:500.0)
+
+let test_dvfs_savings_hand_computed () =
+  check_float "37.5%" 0.375 (Dvfs.savings ~f_design:500.0 ~epochs:[ (250.0, 1.0); (500.0, 1.0) ])
+
+let test_dvfs_savings_weighted () =
+  check_float "weighted" (1.0 -. (1.75 /. 4.0))
+    (Dvfs.savings ~f_design:500.0 ~epochs:[ (250.0, 3.0); (500.0, 1.0) ])
+
+let test_dvfs_savings_zero_when_flat () =
+  check_float "no scaling no savings" 0.0
+    (Dvfs.savings ~f_design:500.0 ~epochs:[ (500.0, 1.0); (500.0, 2.0) ])
+
+let test_dvfs_savings_rejections () =
+  let bad name f =
+    Alcotest.(check bool) name true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  bad "empty" (fun () -> Dvfs.savings ~f_design:500.0 ~epochs:[]);
+  bad "zero weight" (fun () -> Dvfs.savings ~f_design:500.0 ~epochs:[ (100.0, 0.0) ]);
+  bad "above design" (fun () -> Dvfs.savings ~f_design:500.0 ~epochs:[ (600.0, 1.0) ])
+
+let test_dvfs_savings_percent () =
+  check_float "percent form" 37.5
+    (Dvfs.savings_percent ~f_design:500.0 ~epochs:[ (250.0, 1.0); (500.0, 1.0) ])
+
+let prop_dvfs_savings_in_range =
+  QCheck.Test.make ~name:"savings within [0,1)" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 8)
+              (pair (float_bound_exclusive 499.0) (float_bound_exclusive 10.0)))
+    (fun epochs ->
+      let epochs = List.map (fun (f, w) -> (1.0 +. Float.abs f, 0.1 +. Float.abs w)) epochs in
+      let s = Dvfs.savings ~f_design:500.0 ~epochs in
+      s >= 0.0 && s < 1.0)
+
+let test_area_grows_with_arity () =
+  let a4 = Area.switch_area ~config:Config.default ~arity:4 in
+  let a8 = Area.switch_area ~config:Config.default ~arity:8 in
+  Alcotest.(check bool) "more ports, more area" true (a8 > a4)
+
+let test_area_grows_with_frequency () =
+  let slow = Area.switch_area ~config:(Config.with_freq Config.default 200.0) ~arity:5 in
+  let fast = Area.switch_area ~config:(Config.with_freq Config.default 2000.0) ~arity:5 in
+  Alcotest.(check bool) "timing-driven inflation" true (fast > slow)
+
+let test_area_calibration_ballpark () =
+  let a = Area.switch_area ~config:Config.default ~arity:5 in
+  Alcotest.(check bool) "0.05..0.8 mm2" true (a > 0.05 && a < 0.8)
+
+let test_area_rejects_bad_inputs () =
+  Alcotest.(check bool) "arity" true
+    (try ignore (Area.switch_area ~config:Config.default ~arity:0); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "freq beyond model" true
+    (try ignore (Area.switch_area ~config:(Config.with_freq Config.default 3000.0) ~arity:4); false
+     with Invalid_argument _ -> true)
+
+let small_design () =
+  let ucs = [ uc ~id:0 ~cores:4 [ Flow.v ~src:0 ~dst:1 150.0; Flow.v ~src:2 ~dst:3 80.0 ] ] in
+  let config = { Config.default with nis_per_switch = 1 } in
+  match Mapping.map_design ~config ~groups:[ [ 0 ] ] ucs with
+  | Ok m -> (m, ucs)
+  | Error _ -> Alcotest.fail "small design must map"
+
+let test_area_of_design_positive () =
+  let m, _ = small_design () in
+  Alcotest.(check bool) "positive total" true (Area.noc_area m > 0.0)
+
+let test_switch_arity_counts_nis () =
+  let m, _ = small_design () in
+  let s0 = m.Mapping.placement.(0) in
+  let links = Noc_graph.Intgraph.degree (Mesh.graph m.Mapping.mesh) s0 in
+  Alcotest.(check int) "links + 1 NI" (links + 1) (Area.switch_arity m s0)
+
+let test_power_positive_and_scales () =
+  let m, _ = small_design () in
+  let base = Power.noc_power m in
+  let slow = Power.noc_power ~freq:250.0 m in
+  Alcotest.(check bool) "positive" true (base.Power.total_mw > 0.0);
+  Alcotest.(check bool) "scaling down saves" true (slow.Power.total_mw < base.Power.total_mw);
+  check_float "f^2 on switch term" (base.Power.switch_mw /. 4.0) slow.Power.switch_mw
+
+let test_power_with_dvfs_average () =
+  let m, _ = small_design () in
+  let flat = Power.with_dvfs ~design:m ~epochs:[ (500.0, 1.0) ] in
+  let scaled = Power.with_dvfs ~design:m ~epochs:[ (250.0, 1.0); (500.0, 1.0) ] in
+  Alcotest.(check bool) "dvfs average lower" true (scaled < flat)
+
+let test_min_freq_grid_default () =
+  Alcotest.(check int) "80 levels" 80 (List.length Min_freq.default_grid);
+  Alcotest.(check (float 1e-9)) "first level" 25.0 (List.hd Min_freq.default_grid)
+
+let test_min_freq_on_design_feasible_and_minimal () =
+  let m, ucs = small_design () in
+  match Min_freq.for_use_case_on_design ~design:m (List.hd ucs) with
+  | None -> Alcotest.fail "expected a feasible frequency"
+  | Some f ->
+    Alcotest.(check bool) "below design point" true (f <= 500.0);
+    let lower = List.filter (fun g -> g < f) Min_freq.default_grid in
+    (match List.rev lower with
+    | prev :: _ ->
+      let found = Min_freq.for_use_case_on_design ~grid:[ prev ] ~design:m (List.hd ucs) in
+      Alcotest.(check bool) "previous level infeasible" true (found = None)
+    | [] -> ())
+
+let test_min_freq_monotone_in_load () =
+  let light = [ uc ~id:0 ~cores:4 [ Flow.v ~src:0 ~dst:1 100.0 ] ] in
+  let heavy = [ uc ~id:0 ~cores:4 [ Flow.v ~src:0 ~dst:1 800.0 ] ] in
+  let config = { Config.default with nis_per_switch = 1 } in
+  let mesh = Mesh.create ~width:2 ~height:2 in
+  let f ucs = Min_freq.for_use_cases_on_mesh ~config ~mesh ~groups:[ [ 0 ] ] ucs in
+  match (f light, f heavy) with
+  | Some a, Some b -> Alcotest.(check bool) "heavier needs more" true (b >= a)
+  | _ -> Alcotest.fail "both should be feasible"
+
+let test_min_freq_infeasible () =
+  let ucs = [ uc ~id:0 ~cores:2 [ Flow.v ~src:0 ~dst:1 9000.0 ] ] in
+  let config = { Config.default with nis_per_switch = 1 } in
+  let mesh = Mesh.create ~width:2 ~height:1 in
+  Alcotest.(check bool) "none" true
+    (Min_freq.for_use_cases_on_mesh ~config ~mesh ~groups:[ [ 0 ] ] ucs = None)
+
+let test_pareto_sweep_shape () =
+  let ucs =
+    [ uc ~id:0 ~cores:6
+        [ Flow.v ~src:0 ~dst:1 700.0; Flow.v ~src:2 ~dst:3 500.0; Flow.v ~src:4 ~dst:5 300.0 ] ]
+  in
+  let config = { Config.default with nis_per_switch = 1 } in
+  let points =
+    Pareto.sweep ~frequencies:[ 200.0; 500.0; 1000.0; 2000.0 ] ~config ~groups:[ [ 0 ] ] ucs
+  in
+  Alcotest.(check int) "four points" 4 (List.length points);
+  let switches = List.filter_map (fun p -> p.Pareto.switches) points in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "switch count non-increasing in f" true (non_increasing switches)
+
+let test_pareto_front_filters_dominated () =
+  let mk f s a = { Pareto.freq_mhz = f; switches = Some s; area_mm2 = Some a } in
+  let points = [ mk 100.0 10 5.0; mk 200.0 4 2.0; mk 300.0 4 2.5 ] in
+  let front = Pareto.pareto_front points in
+  Alcotest.(check (list (float 1e-9))) "front freqs" [ 100.0; 200.0 ]
+    (List.map (fun p -> p.Pareto.freq_mhz) front)
+
+let test_pareto_front_drops_infeasible () =
+  let points = [ { Pareto.freq_mhz = 100.0; switches = None; area_mm2 = None } ] in
+  Alcotest.(check int) "empty front" 0 (List.length (Pareto.pareto_front points))
+
+(* --- design space --------------------------------------------------------- *)
+
+module Design_space = Noc_power.Design_space
+
+let test_design_space_covers_axes () =
+  let ucs = [ uc ~id:0 ~cores:4 [ Flow.v ~src:0 ~dst:1 100.0 ] ] in
+  let axes =
+    {
+      Design_space.frequencies = [ 250.0; 500.0 ];
+      slot_counts = [ 16; 32 ];
+      topologies = [ Mesh.Mesh; Mesh.Torus ];
+    }
+  in
+  let points = Design_space.explore ~axes ~config:Config.default ~groups:[ [ 0 ] ] ucs in
+  Alcotest.(check int) "2x2x2 points" 8 (List.length points);
+  List.iter
+    (fun p -> Alcotest.(check bool) "feasible tiny design" true (p.Design_space.switches <> None))
+    points
+
+let test_design_space_pareto_nonempty_and_minimal () =
+  let ucs = [ uc ~id:0 ~cores:4 [ Flow.v ~src:0 ~dst:1 100.0 ] ] in
+  let points = Design_space.explore ~config:Config.default ~groups:[ [ 0 ] ] ucs in
+  let front = Design_space.pareto points in
+  Alcotest.(check bool) "front non-empty" true (front <> []);
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if p != q then
+            match (p.Design_space.area_mm2, p.Design_space.power_mw,
+                   q.Design_space.area_mm2, q.Design_space.power_mw) with
+            | Some pa, Some pp, Some qa, Some qp ->
+              Alcotest.(check bool) "mutually non-dominated" false
+                (pa <= qa && pp <= qp && (pa < qa || pp < qp))
+            | _ -> ())
+        front)
+    front
+
+let test_design_space_infeasible_points_kept () =
+  let ucs = [ uc ~id:0 ~cores:2 [ Flow.v ~src:0 ~dst:1 9000.0 ] ] in
+  let config = { Config.default with nis_per_switch = 1; max_mesh_dim = 2 } in
+  let axes =
+    { Design_space.frequencies = [ 500.0 ]; slot_counts = [ 32 ]; topologies = [ Mesh.Mesh ] }
+  in
+  let points = Design_space.explore ~axes ~config ~groups:[ [ 0 ] ] ucs in
+  Alcotest.(check int) "one point" 1 (List.length points);
+  Alcotest.(check bool) "infeasible" true ((List.hd points).Design_space.switches = None);
+  Alcotest.(check int) "empty front" 0 (List.length (Design_space.pareto points))
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_dvfs_savings_in_range ]
+
+let () =
+  Alcotest.run "noc_power"
+    [
+      ( "dvfs",
+        [
+          Alcotest.test_case "voltage ratio" `Quick test_dvfs_voltage_ratio;
+          Alcotest.test_case "power ratio" `Quick test_dvfs_power_ratio;
+          Alcotest.test_case "savings hand computed" `Quick test_dvfs_savings_hand_computed;
+          Alcotest.test_case "savings weighted" `Quick test_dvfs_savings_weighted;
+          Alcotest.test_case "flat epochs" `Quick test_dvfs_savings_zero_when_flat;
+          Alcotest.test_case "rejections" `Quick test_dvfs_savings_rejections;
+          Alcotest.test_case "percent form" `Quick test_dvfs_savings_percent;
+        ] );
+      ( "area",
+        [
+          Alcotest.test_case "grows with arity" `Quick test_area_grows_with_arity;
+          Alcotest.test_case "grows with frequency" `Quick test_area_grows_with_frequency;
+          Alcotest.test_case "calibration ballpark" `Quick test_area_calibration_ballpark;
+          Alcotest.test_case "rejects bad inputs" `Quick test_area_rejects_bad_inputs;
+          Alcotest.test_case "design area positive" `Quick test_area_of_design_positive;
+          Alcotest.test_case "arity counts NIs" `Quick test_switch_arity_counts_nis;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "positive and scales" `Quick test_power_positive_and_scales;
+          Alcotest.test_case "dvfs average" `Quick test_power_with_dvfs_average;
+        ] );
+      ( "min_freq",
+        [
+          Alcotest.test_case "default grid" `Quick test_min_freq_grid_default;
+          Alcotest.test_case "feasible and minimal" `Quick test_min_freq_on_design_feasible_and_minimal;
+          Alcotest.test_case "monotone in load" `Quick test_min_freq_monotone_in_load;
+          Alcotest.test_case "infeasible" `Quick test_min_freq_infeasible;
+        ] );
+      ( "pareto",
+        [
+          Alcotest.test_case "sweep shape" `Quick test_pareto_sweep_shape;
+          Alcotest.test_case "front filters dominated" `Quick test_pareto_front_filters_dominated;
+          Alcotest.test_case "front drops infeasible" `Quick test_pareto_front_drops_infeasible;
+        ] );
+      ( "design_space",
+        [
+          Alcotest.test_case "covers axes" `Quick test_design_space_covers_axes;
+          Alcotest.test_case "pareto minimal" `Quick test_design_space_pareto_nonempty_and_minimal;
+          Alcotest.test_case "infeasible kept" `Quick test_design_space_infeasible_points_kept;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,184 @@
+(* Cross-module property tests: invariants that tie the mapping engine,
+   the resource model, verification, re-configuration analysis, export
+   and the simulator together on randomly generated designs. *)
+
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Route = Noc_arch.Route
+module Slot_table = Noc_arch.Slot_table
+module Flow = Noc_traffic.Flow
+module U = Noc_traffic.Use_case
+module Mapping = Noc_core.Mapping
+module Resources = Noc_core.Resources
+module Reconfig = Noc_core.Reconfig
+module DF = Noc_core.Design_flow
+module Syn = Noc_benchkit.Synthetic
+
+let gen_design seed =
+  let params = { Syn.spread_params with cores = 10; flows_lo = 6; flows_hi = 16 } in
+  let ucs = Syn.generate ~seed ~params ~use_cases:3 in
+  match Mapping.map_design ~groups:[ [ 0 ]; [ 1 ]; [ 2 ] ] ucs with
+  | Ok m -> Some (m, ucs)
+  | Error _ -> None
+
+let prop_slot_accounting_consistent =
+  (* per use-case and link: used slots in the table = slots implied by
+     that use-case's routes over the link *)
+  QCheck.Test.make ~name:"slot tables = sum of route reservations" ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      match gen_design seed with
+      | None -> false
+      | Some (m, ucs) ->
+        let links = Mesh.link_count m.Mapping.mesh in
+        List.for_all
+          (fun u ->
+            let uid = u.U.id in
+            let implied = Array.make links 0 in
+            List.iter
+              (fun r ->
+                List.iter
+                  (fun _start -> List.iter (fun l -> implied.(l) <- implied.(l) + 1) r.Route.links)
+                  r.Route.slot_starts)
+              (Mapping.routes_of_use_case m uid);
+            let ok = ref true in
+            for l = 0 to links - 1 do
+              let used = Slot_table.used_count (Resources.table m.Mapping.states.(uid) l) in
+              if used <> implied.(l) then ok := false
+            done;
+            !ok)
+          ucs)
+
+let prop_slot_starts_in_range =
+  QCheck.Test.make ~name:"every slot start lies in [0, slots)" ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      match gen_design seed with
+      | None -> false
+      | Some (m, _) ->
+        let slots = m.Mapping.config.Config.slots in
+        List.for_all
+          (fun r -> List.for_all (fun s -> s >= 0 && s < slots) r.Route.slot_starts)
+          m.Mapping.routes)
+
+let prop_mapping_deterministic =
+  QCheck.Test.make ~name:"mapping is deterministic" ~count:10
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      match (gen_design seed, gen_design seed) with
+      | Some (a, _), Some (b, _) ->
+        a.Mapping.placement = b.Mapping.placement
+        && List.length a.Mapping.routes = List.length b.Mapping.routes
+        && Mapping.total_weighted_hops a = Mapping.total_weighted_hops b
+      | None, None -> true
+      | _ -> false)
+
+let prop_reconfig_symmetric =
+  QCheck.Test.make ~name:"switching cost is symmetric" ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      match gen_design seed with
+      | None -> false
+      | Some (m, ucs) ->
+        let n = List.length ucs in
+        let ok = ref true in
+        for a = 0 to n - 1 do
+          for b = a + 1 to n - 1 do
+            let ab = Reconfig.pair m ~from_uc:a ~to_uc:b in
+            let ba = Reconfig.pair m ~from_uc:b ~to_uc:a in
+            if
+              ab.Reconfig.slot_writes <> ba.Reconfig.slot_writes
+              || ab.Reconfig.paths_changed <> ba.Reconfig.paths_changed
+            then ok := false
+          done
+        done;
+        !ok)
+
+let prop_export_json_valid_for_random_designs =
+  QCheck.Test.make ~name:"exported JSON always validates" ~count:10
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let params = { Syn.spread_params with cores = 8; flows_lo = 4; flows_hi = 10 } in
+      let ucs = Syn.generate ~seed ~params ~use_cases:2 in
+      match DF.run (DF.spec_of_use_cases ~name:"prop" ucs) with
+      | Error _ -> false
+      | Ok d ->
+        Noc_export.Json.validate (Noc_export.Design_export.design_to_string d) = Ok ())
+
+let prop_buffer_totals_cover_every_route =
+  QCheck.Test.make ~name:"NI buffer totals positive wherever traffic flows" ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      match gen_design seed with
+      | None -> false
+      | Some (m, ucs) ->
+        let config = m.Mapping.config in
+        let cores = Array.length m.Mapping.placement in
+        List.for_all
+          (fun u ->
+            let totals =
+              Noc_arch.Ni_buffer.per_core_totals ~config ~cores
+                (Mapping.routes_of_use_case m u.U.id)
+            in
+            List.for_all
+              (fun f -> totals.(f.Flow.src) > 0 && totals.(f.Flow.dst) > 0)
+              u.U.flows)
+          ucs)
+
+let prop_latency_bounds_respect_constraints =
+  QCheck.Test.make ~name:"every GT bound within its constraint on mapped designs" ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      match gen_design seed with
+      | None -> false
+      | Some (m, ucs) ->
+        let config = m.Mapping.config in
+        List.for_all
+          (fun u ->
+            List.for_all
+              (fun f ->
+                if not (Flow.is_guaranteed f) then true
+                else
+                  match
+                    List.find_opt
+                      (fun r ->
+                        r.Route.use_case = u.U.id && r.Route.src_core = f.Flow.src
+                        && r.Route.dst_core = f.Flow.dst && r.Route.service = Route.Gt)
+                      m.Mapping.routes
+                  with
+                  | None -> false
+                  | Some r -> Route.worst_case_latency_ns ~config r <= f.Flow.latency_ns +. 1e-9)
+              u.U.flows)
+          ucs)
+
+(* bias variants both succeed and verify *)
+let prop_bias_variants_verify =
+  QCheck.Test.make ~name:"both placement biases give verified designs" ~count:10
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let params = { Syn.spread_params with cores = 8; flows_lo = 5; flows_hi = 12 } in
+      let ucs = Syn.generate ~seed ~params ~use_cases:2 in
+      let mesh = Mesh.create ~width:3 ~height:3 in
+      let check bias =
+        match Mapping.map_on_mesh ~bias ~config:Config.default ~mesh ~groups:[ [ 0 ]; [ 1 ] ] ucs with
+        | Ok m -> Noc_core.Verify.ok (Noc_core.Verify.verify m ucs)
+        | Error _ -> true (* infeasible at this fixed size is acceptable *)
+      in
+      check Mapping.Compact && check Mapping.Spread)
+
+let () =
+  Alcotest.run "cross_module_properties"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_slot_accounting_consistent;
+            prop_slot_starts_in_range;
+            prop_mapping_deterministic;
+            prop_reconfig_symmetric;
+            prop_export_json_valid_for_random_designs;
+            prop_buffer_totals_cover_every_route;
+            prop_latency_bounds_respect_constraints;
+            prop_bias_variants_verify;
+          ] );
+    ]

@@ -1,0 +1,128 @@
+(* Tests for Noc_report: the analytic design report. *)
+
+module Config = Noc_arch.Noc_config
+module Route = Noc_arch.Route
+module Flow = Noc_traffic.Flow
+module U = Noc_traffic.Use_case
+module DF = Noc_core.Design_flow
+module R = Noc_report.Design_report
+module SD = Noc_benchkit.Soc_designs
+
+let design () =
+  let config = { Config.default with nis_per_switch = 1 } in
+  match
+    DF.run ~config
+      {
+        DF.name = "report-sample";
+        use_cases =
+          [
+            U.create ~id:0 ~name:"heavy" ~cores:4
+              [
+                Flow.v ~src:0 ~dst:1 400.0;
+                Flow.v ~src:2 ~dst:3 ~latency_ns:400.0 30.0;
+                Flow.v ~src:1 ~dst:2 ~service:Flow.Best_effort 50.0;
+              ];
+            U.create ~id:1 ~name:"light" ~cores:4 [ Flow.v ~src:3 ~dst:0 20.0 ];
+          ];
+        parallel = [];
+        smooth = [];
+      }
+  with
+  | Ok d -> d
+  | Error e -> Alcotest.fail e
+
+let test_report_covers_every_flow () =
+  let d = design () in
+  let r = R.build d in
+  let expected =
+    List.fold_left (fun acc u -> acc + U.flow_count u) 0 d.DF.all_use_cases
+  in
+  Alcotest.(check int) "one line per flow" expected (List.length r.R.flow_lines);
+  Alcotest.(check int) "one line per use-case" (List.length d.DF.all_use_cases)
+    (List.length r.R.use_case_lines);
+  Alcotest.(check bool) "verified" true r.R.verified
+
+let test_report_gt_granted_covers_requirement () =
+  let d = design () in
+  let r = R.build d in
+  List.iter
+    (fun (l : R.flow_line) ->
+      if l.R.service = Route.Gt then
+        Alcotest.(check bool)
+          (Printf.sprintf "uc %d %d->%d granted >= required" l.R.use_case l.R.src l.R.dst)
+          true
+          (l.R.granted_mbps +. 1e-9 >= l.R.bandwidth_mbps))
+    r.R.flow_lines
+
+let test_report_slack_nonnegative_on_verified_design () =
+  let d = design () in
+  let r = R.build d in
+  List.iter
+    (fun (l : R.flow_line) ->
+      match l.R.latency_slack_ns with
+      | Some s -> Alcotest.(check bool) "slack >= 0" true (s >= -1e-9)
+      | None -> ())
+    r.R.flow_lines;
+  match R.min_slack_ns r with
+  | Some s -> Alcotest.(check bool) "min slack >= 0" true (s >= -1e-9)
+  | None -> Alcotest.fail "a latency-constrained flow exists"
+
+let test_report_be_lines_have_no_grant () =
+  let d = design () in
+  let r = R.build d in
+  let be = List.filter (fun l -> l.R.service = Route.Be) r.R.flow_lines in
+  Alcotest.(check int) "one BE line" 1 (List.length be);
+  List.iter
+    (fun (l : R.flow_line) ->
+      Alcotest.(check (float 1e-9)) "no grant" 0.0 l.R.granted_mbps;
+      Alcotest.(check bool) "no bound" true (l.R.latency_bound_ns = infinity))
+    be
+
+let test_report_buffers_positive () =
+  let d = design () in
+  let r = R.build d in
+  Alcotest.(check bool) "total positive" true (r.R.buffer_words_total > 0);
+  Alcotest.(check int) "per-core array sized" 4 (Array.length r.R.buffer_words_per_core)
+
+let test_report_dvfs_section () =
+  let d = design () in
+  let with_dvfs = R.build d in
+  (match with_dvfs.R.dvfs with
+  | Some s ->
+    Alcotest.(check bool) "design point positive" true (s.R.f_design_mhz > 0.0);
+    Alcotest.(check int) "one epoch per use-case" (List.length d.DF.all_use_cases)
+      (List.length s.R.epochs);
+    Alcotest.(check bool) "saving within [0,100)" true
+      (s.R.savings_pct >= 0.0 && s.R.savings_pct < 100.0);
+    List.iter
+      (fun (_, f) ->
+        Alcotest.(check bool) "epoch below design point" true (f <= s.R.f_design_mhz +. 1e-9))
+      s.R.epochs
+  | None -> Alcotest.fail "dvfs expected by default");
+  let without = R.build ~dvfs:false d in
+  Alcotest.(check bool) "dvfs off" true (without.R.dvfs = None)
+
+let test_report_mobile_phone () =
+  match DF.run (DF.spec_of_use_cases ~name:"mobile" (SD.mobile_phone ())) with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    let r = R.build d in
+    Alcotest.(check bool) "verified" true r.R.verified;
+    Alcotest.(check bool) "has worst switching" true (r.R.worst_switching <> None);
+    (* printing must not raise *)
+    R.print r
+
+let () =
+  Alcotest.run "noc_report"
+    [
+      ( "design_report",
+        [
+          Alcotest.test_case "covers every flow" `Quick test_report_covers_every_flow;
+          Alcotest.test_case "granted covers requirement" `Quick test_report_gt_granted_covers_requirement;
+          Alcotest.test_case "slack non-negative" `Quick test_report_slack_nonnegative_on_verified_design;
+          Alcotest.test_case "BE lines" `Quick test_report_be_lines_have_no_grant;
+          Alcotest.test_case "buffers positive" `Quick test_report_buffers_positive;
+          Alcotest.test_case "dvfs section" `Quick test_report_dvfs_section;
+          Alcotest.test_case "mobile phone report" `Quick test_report_mobile_phone;
+        ] );
+    ]

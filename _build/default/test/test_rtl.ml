@@ -1,0 +1,303 @@
+(* Tests for Noc_rtl: VHDL emission and the well-formedness lint. *)
+
+module Config = Noc_arch.Noc_config
+module Flow = Noc_traffic.Flow
+module U = Noc_traffic.Use_case
+module Mapping = Noc_core.Mapping
+module Vhdl = Noc_rtl.Vhdl
+module Netlist = Noc_rtl.Netlist
+module Wf = Noc_rtl.Wellformed
+
+let uc ~id ~cores flows = U.create ~id ~name:(Printf.sprintf "u%d" id) ~cores flows
+
+let mapped ?(config = { Config.default with nis_per_switch = 2 }) ucs groups =
+  match Mapping.map_design ~config ~groups ucs with
+  | Ok m -> m
+  | Error _ -> Alcotest.fail "design must map"
+
+let sample_design () =
+  mapped
+    [
+      uc ~id:0 ~cores:5 [ Flow.v ~src:0 ~dst:1 300.0; Flow.v ~src:2 ~dst:3 150.0; Flow.v ~src:3 ~dst:4 80.0 ];
+      uc ~id:1 ~cores:5 [ Flow.v ~src:4 ~dst:0 200.0 ];
+    ]
+    [ [ 0 ]; [ 1 ] ]
+
+(* --- vhdl helpers --------------------------------------------------------- *)
+
+let test_ident_sanitisation () =
+  Alcotest.(check string) "spaces to underscore" "set_top_box" (Vhdl.ident "set top box");
+  Alcotest.(check string) "leading digit" "u_3design" (Vhdl.ident "3design");
+  Alcotest.(check string) "empty" "u" (Vhdl.ident "");
+  Alcotest.(check string) "no duplicate underscores" "a_b" (Vhdl.ident "a--__b");
+  Alcotest.(check string) "no trailing underscore" "ab" (Vhdl.ident "ab-")
+
+let test_std_logic_vector () =
+  Alcotest.(check string) "32 bits" "std_logic_vector(31 downto 0)" (Vhdl.std_logic_vector 32)
+
+let test_entity_rendering () =
+  let text =
+    Vhdl.entity ~name:"thing"
+      ~generics:[ ("WIDTH", "natural", "32") ]
+      ~ports:[ { Vhdl.name = "clk"; dir = `In; ty = "std_logic" } ]
+  in
+  Alcotest.(check bool) "has entity header" true
+    (String.length text > 0
+    && String.sub text 0 (String.length "entity thing is") = "entity thing is")
+
+let test_instance_rendering () =
+  let text =
+    Vhdl.instance ~label:"sw_0" ~component:"noc_switch"
+      ~generic_map:[ ("WIDTH", "32") ]
+      ~port_map:[ ("clk", "clk") ]
+  in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "label" true (contains "sw_0 : noc_switch");
+  Alcotest.(check bool) "generic map" true (contains "generic map");
+  Alcotest.(check bool) "port map" true (contains "port map")
+
+(* --- netlist -------------------------------------------------------------- *)
+
+let test_generated_vhdl_is_well_formed () =
+  let m = sample_design () in
+  let text = Netlist.generate ~design_name:"sample" m in
+  match Wf.check text with
+  | Ok () -> ()
+  | Error issues ->
+    let msgs =
+      String.concat "; "
+        (List.map (fun i -> Printf.sprintf "line %d: %s" i.Wf.line i.Wf.message) issues)
+    in
+    Alcotest.fail msgs
+
+let test_generated_stats_match_design () =
+  let m = sample_design () in
+  let text = Netlist.generate ~design_name:"sample" m in
+  let stats = Wf.stats text in
+  let get k = List.assoc k stats in
+  (* instances: one switch per mesh node + one NI per core *)
+  Alcotest.(check int) "instances"
+    (Mapping.switch_count m + Array.length m.Mapping.placement)
+    (get "instances");
+  Alcotest.(check int) "three entities (switch, ni, top)" 3 (get "entities");
+  Alcotest.(check int) "one package" 1 (get "packages");
+  Alcotest.(check bool) "signals present" true (get "signals" > 0)
+
+let test_slot_table_package_lists_every_use_case () =
+  let m = sample_design () in
+  let text = Netlist.slot_table_package ~design_name:"sample" m in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "uc0 table" true (contains "UC0_SLOT_TABLE");
+  Alcotest.(check bool) "uc1 table" true (contains "UC1_SLOT_TABLE");
+  Alcotest.(check bool) "slot count constant" true (contains "N_SLOTS : natural := 32")
+
+let test_generate_on_single_switch_design () =
+  let m = mapped ~config:Config.default [ uc ~id:0 ~cores:3 [ Flow.v ~src:0 ~dst:1 10.0 ] ] [ [ 0 ] ] in
+  Alcotest.(check int) "single switch" 1 (Mapping.switch_count m);
+  let text = Netlist.generate ~design_name:"tiny" m in
+  Alcotest.(check bool) "well formed" true (Wf.check text = Ok ())
+
+(* --- systemc ------------------------------------------------------------------ *)
+
+module Sc = Noc_rtl.Systemc
+
+let test_systemc_generates_and_lints () =
+  let m = sample_design () in
+  let text = Sc.generate ~design_name:"sample" m in
+  match Sc.check text with
+  | Ok () -> ()
+  | Error issues ->
+    let msgs =
+      String.concat "; "
+        (List.map (fun i -> Printf.sprintf "line %d: %s" i.Sc.line i.Sc.message) issues)
+    in
+    Alcotest.fail msgs
+
+let test_systemc_stats () =
+  let m = sample_design () in
+  let text = Sc.generate ~design_name:"sample" m in
+  let stats = Sc.stats text in
+  let get k = List.assoc k stats in
+  Alcotest.(check int) "three modules" 3 (get "modules");
+  Alcotest.(check int) "instances = switches + cores"
+    (Mapping.switch_count m + Array.length m.Mapping.placement)
+    (get "instances");
+  Alcotest.(check bool) "bindings present" true (get "bindings" > 0)
+
+let test_systemc_slot_tables_cover_use_cases () =
+  let m = sample_design () in
+  let text = Sc.slot_tables ~design_name:"sample" m in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "uc0 table" true (contains "UC0_SLOT_TABLE");
+  Alcotest.(check bool) "uc1 table" true (contains "UC1_SLOT_TABLE")
+
+let test_systemc_lint_catches_faults () =
+  let fixture = String.concat "\n" [
+    "SC_MODULE(a_top) {";
+    "  sc_signal<sc_uint<32> > s_one;";
+    "  mystery_module u_0;";
+    "  noc_ni u_0;";
+    "  SC_CTOR(a_top) : u_0(\"u_0\") {";
+    "    u_0.clk(missing);";
+    "  }";
+    "};";
+  ] in
+  match Sc.check fixture with
+  | Ok () -> Alcotest.fail "fixture should not lint clean"
+  | Error issues ->
+    let has needle =
+      List.exists
+        (fun i ->
+          let msg = i.Sc.message in
+          let n = String.length needle and h = String.length msg in
+          let rec go j = j + n <= h && (String.sub msg j n = needle || go (j + 1)) in
+          go 0)
+        issues
+    in
+    Alcotest.(check bool) "undeclared module" true (has "undeclared module type");
+    Alcotest.(check bool) "duplicate member" true (has "duplicate member");
+    Alcotest.(check bool) "unknown binding" true (has "not a declared signal")
+
+let test_systemc_lint_unbalanced () =
+  match Sc.check "SC_MODULE(x) { sc_in<bool> clk;" with
+  | Ok () -> Alcotest.fail "unbalanced should fail"
+  | Error issues ->
+    Alcotest.(check bool) "brace issue" true
+      (List.exists (fun i -> i.Sc.line = 0) issues)
+
+(* --- lint negatives --------------------------------------------------------- *)
+
+let broken_fixture = {|
+entity a_top is
+  port (
+    clk : in std_logic
+  );
+end a_top;
+architecture structural of a_top is
+  component noc_ni
+  port (
+    clk : in std_logic
+  );
+  end component;
+  signal s_one : std_logic;
+  signal s_one : std_logic;
+begin
+  ni_0 : noc_ni
+    port map (
+      clk => missing_signal
+    )
+  ;
+  ni_0 : noc_mystery
+    port map (
+      clk => s_one
+    )
+  ;
+end structural;
+|}
+
+let find_issue issues needle =
+  List.exists
+    (fun i ->
+      let n = String.length needle and h = String.length i.Wf.message in
+      let rec go j = j + n <= h && (String.sub i.Wf.message j n = needle || go (j + 1)) in
+      go 0)
+    issues
+
+let test_lint_detects_injected_faults () =
+  match Wf.check broken_fixture with
+  | Ok () -> Alcotest.fail "fixture should not lint clean"
+  | Error issues ->
+    Alcotest.(check bool) "duplicate signal" true (find_issue issues "duplicate signal");
+    Alcotest.(check bool) "duplicate label" true (find_issue issues "duplicate instance label");
+    Alcotest.(check bool) "undeclared component" true (find_issue issues "undeclared component");
+    Alcotest.(check bool) "unknown signal" true (find_issue issues "not a declared signal")
+
+let test_lint_detects_missing_architecture () =
+  let fixture = "entity lonely is\nend lonely;\n" in
+  match Wf.check fixture with
+  | Ok () -> Alcotest.fail "missing architecture"
+  | Error issues -> Alcotest.(check bool) "reported" true (find_issue issues "no architecture")
+
+let test_lint_rejects_empty_text () =
+  match Wf.check "" with
+  | Ok () -> Alcotest.fail "empty text is not a design"
+  | Error issues -> Alcotest.(check bool) "no units" true (find_issue issues "no design units")
+
+let test_lint_accepts_comments_and_tie_offs () =
+  let fixture =
+    String.concat "\n"
+      [
+        "-- a comment with entity words inside";
+        "entity t_top is";
+        "end t_top;";
+        "architecture rtl of t_top is";
+        "  signal s : std_logic;";
+        "begin";
+        "  s <= '0';";
+        "end rtl;";
+        "";
+      ]
+  in
+  Alcotest.(check bool) "clean" true (Wf.check fixture = Ok ())
+
+(* Generated VHDL for random mapped designs is always well-formed. *)
+let prop_generated_always_well_formed =
+  QCheck.Test.make ~name:"generator output lints clean" ~count:15
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let params =
+        { Noc_benchkit.Synthetic.spread_params with cores = 8; flows_lo = 5; flows_hi = 12 }
+      in
+      let ucs = Noc_benchkit.Synthetic.generate ~seed ~params ~use_cases:2 in
+      match Mapping.map_design ~groups:[ [ 0 ]; [ 1 ] ] ucs with
+      | Error _ -> false
+      | Ok m -> Wf.check (Netlist.generate ~design_name:"prop" m) = Ok ())
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_generated_always_well_formed ]
+
+let () =
+  Alcotest.run "noc_rtl"
+    [
+      ( "vhdl",
+        [
+          Alcotest.test_case "ident sanitisation" `Quick test_ident_sanitisation;
+          Alcotest.test_case "std_logic_vector" `Quick test_std_logic_vector;
+          Alcotest.test_case "entity rendering" `Quick test_entity_rendering;
+          Alcotest.test_case "instance rendering" `Quick test_instance_rendering;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "well-formed output" `Quick test_generated_vhdl_is_well_formed;
+          Alcotest.test_case "stats match design" `Quick test_generated_stats_match_design;
+          Alcotest.test_case "slot-table package" `Quick test_slot_table_package_lists_every_use_case;
+          Alcotest.test_case "single-switch design" `Quick test_generate_on_single_switch_design;
+        ] );
+      ( "systemc",
+        [
+          Alcotest.test_case "generates and lints" `Quick test_systemc_generates_and_lints;
+          Alcotest.test_case "stats" `Quick test_systemc_stats;
+          Alcotest.test_case "slot tables" `Quick test_systemc_slot_tables_cover_use_cases;
+          Alcotest.test_case "lint catches faults" `Quick test_systemc_lint_catches_faults;
+          Alcotest.test_case "lint unbalanced" `Quick test_systemc_lint_unbalanced;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "injected faults" `Quick test_lint_detects_injected_faults;
+          Alcotest.test_case "missing architecture" `Quick test_lint_detects_missing_architecture;
+          Alcotest.test_case "empty text" `Quick test_lint_rejects_empty_text;
+          Alcotest.test_case "comments and tie-offs" `Quick test_lint_accepts_comments_and_tie_offs;
+        ] );
+      ("properties", qcheck_cases);
+    ]
