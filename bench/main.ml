@@ -100,32 +100,52 @@ let suite =
       bench_substrate;
     ]
 
-let run_perf_suite () =
+(* Per-benchmark mean ns, sorted by name — the stable shape behind both
+   the printed table and the machine-readable JSON trajectory. *)
+let measure_suite () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instance = Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.8) ~kde:(Some 10) () in
   let raw = Benchmark.all cfg [ instance ] suite in
   let results = Analyze.all ols instance raw in
-  let table = Noc_util.Ascii_table.create ~header:[ "benchmark"; "time per run" ] in
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
-      let pretty =
-        match Analyze.OLS.estimates ols_result with
-        | Some (est :: _) ->
-          if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
-          else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
-          else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
-          else Printf.sprintf "%.0f ns" est
-        | _ -> "n/a"
-      in
-      rows := (name, pretty) :: !rows)
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> rows := (name, est) :: !rows
+      | _ -> ())
     results;
+  List.sort compare !rows
+
+let pretty_ns est =
+  if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+  else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+  else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+  else Printf.sprintf "%.0f ns" est
+
+let run_perf_suite () =
+  let rows = measure_suite () in
+  let table = Noc_util.Ascii_table.create ~header:[ "benchmark"; "time per run" ] in
   List.iter
-    (fun (name, pretty) -> Noc_util.Ascii_table.add_row table [ name; pretty ])
-    (List.sort compare !rows);
+    (fun (name, est) -> Noc_util.Ascii_table.add_row table [ name; pretty_ns est ])
+    rows;
   print_endline "Performance (Bechamel, monotonic clock):";
   Noc_util.Ascii_table.print ~align:Noc_util.Ascii_table.Left table
+
+(* --json: run only the perf suite and write BENCH_nocmap.json, one
+   stable key per benchmark, so successive PRs can diff performance. *)
+let bench_json_file = "BENCH_nocmap.json"
+
+let write_json rows =
+  Out_channel.with_open_text bench_json_file (fun oc ->
+      output_string oc "{\n";
+      List.iteri
+        (fun i (name, est) ->
+          Printf.fprintf oc "  %S: %.1f%s\n" name est
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "}\n");
+  Printf.printf "wrote %s (%d benchmarks, mean ns per run)\n" bench_json_file (List.length rows)
 
 let print_worked_examples () =
   (* Fig 2 / Fig 5 sanity rows: the worked examples design and verify. *)
@@ -144,13 +164,16 @@ let print_worked_examples () =
   print_newline ()
 
 let () =
-  print_endline "=== Reproduction of the paper's evaluation (Sec 6) ===";
-  print_newline ();
-  print_worked_examples ();
-  E.print_all ();
-  print_endline "=== Ablations (design-choice sweeps) ===";
-  print_newline ();
-  Noc_benchkit.Ablations.print_all ();
-  print_endline "=== Performance suite ===";
-  print_newline ();
-  run_perf_suite ()
+  if Array.exists (( = ) "--json") Sys.argv then write_json (measure_suite ())
+  else begin
+    print_endline "=== Reproduction of the paper's evaluation (Sec 6) ===";
+    print_newline ();
+    print_worked_examples ();
+    E.print_all ();
+    print_endline "=== Ablations (design-choice sweeps) ===";
+    print_newline ();
+    Noc_benchkit.Ablations.print_all ();
+    print_endline "=== Performance suite ===";
+    print_newline ();
+    run_perf_suite ()
+  end

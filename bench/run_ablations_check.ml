@@ -1,0 +1,27 @@
+(* CI smoke for the ablation sweeps: run the cheap sweeps end-to-end
+   and fail loudly if any design point that should map stops mapping.
+   The full tables remain in [bench/main.exe]; this binary is sized for
+   a pull-request gate (a few seconds, deterministic). *)
+
+module A = Noc_benchkit.Ablations
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("FAIL: " ^ msg); exit 1) fmt
+
+let () =
+  let slot_rows = A.slot_table_sweep ~sizes:[ 16; 32 ] () in
+  if List.length slot_rows <> 2 then fail "slot_table_sweep returned %d rows" (List.length slot_rows);
+  List.iter
+    (fun r ->
+      match (r.A.ours_switches, r.A.wc_switches) with
+      | Some ours, Some wc ->
+        if ours <= 0 || wc <= 0 then fail "non-positive switch count at %d slots" r.A.slots
+      | _ -> fail "design failed to map at %d slots" r.A.slots)
+    slot_rows;
+  let routing_rows = A.routing_effect () in
+  if not (List.exists (fun (r : A.routing_row) -> r.A.switches <> None) routing_rows) then
+    fail "routing_effect: no routing mode mapped D1";
+  let grouping_rows = A.grouping_effect () in
+  if not (List.exists (fun (r : A.grouping_row) -> r.A.switches <> None) grouping_rows) then
+    fail "grouping_effect: no grouping variant mapped Sp-5";
+  Printf.printf "ablations smoke OK (%d slot rows, %d routing rows, %d grouping rows)\n"
+    (List.length slot_rows) (List.length routing_rows) (List.length grouping_rows)

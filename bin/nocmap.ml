@@ -71,6 +71,13 @@ let refine_arg =
   let doc = "Run the simulated-annealing placement refinement after mapping." in
   Arg.(value & flag & info [ "refine" ] ~doc)
 
+let sequential_arg =
+  let doc =
+    "Search mesh sizes strictly one at a time instead of speculatively evaluating a window of \
+     sizes on separate domains (the result is identical either way)."
+  in
+  Arg.(value & flag & info [ "sequential" ] ~doc)
+
 let wc_arg =
   let doc = "Design with the worst-case baseline method [25] instead of the multi-use-case method." in
   Arg.(value & flag & info [ "wc" ] ~doc)
@@ -145,7 +152,7 @@ let load_spec ~bench ~use_cases ~seed ~spec_file =
     | Ok ucs -> Ok (DF.spec_of_use_cases ~name:bench ucs)
     | Error msg -> Error msg)
 
-let run_map bench use_cases seed freq slots nis xy refine wc vhdl systemc spec_file =
+let run_map bench use_cases seed freq slots nis xy refine sequential wc vhdl systemc spec_file =
   match load_spec ~bench ~use_cases ~seed ~spec_file with
   | Error msg -> `Error (false, msg)
   | Ok spec -> (
@@ -153,14 +160,15 @@ let run_map bench use_cases seed freq slots nis xy refine wc vhdl systemc spec_f
       match vhdl_res with `Ok () -> emit_systemc systemc spec.DF.name m | e -> e
     in
     let config = make_config ~freq ~slots ~nis ~xy in
+    let parallel = not sequential in
     if wc then
-      match WC.map_design ~config spec.DF.use_cases with
+      match WC.map_design ~config ~parallel spec.DF.use_cases with
       | Error failure -> `Error (false, Format.asprintf "%a" Mapping.pp_failure failure)
       | Ok m ->
         print_design (spec.DF.name ^ " (WC method)") m true;
         both (emit_vhdl vhdl spec.DF.name m) m
     else
-      match DF.run ~config ~refine spec with
+      match DF.run ~config ~parallel ~refine spec with
       | Error msg -> `Error (false, msg)
       | Ok d ->
         print_design spec.DF.name d.DF.mapping (DF.verified d);
@@ -173,7 +181,7 @@ let map_cmd =
     Term.(
       ret
         (const run_map $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
-        $ xy_arg $ refine_arg $ wc_arg $ vhdl_arg $ systemc_arg $ spec_arg))
+        $ xy_arg $ refine_arg $ sequential_arg $ wc_arg $ vhdl_arg $ systemc_arg $ spec_arg))
 
 (* --- experiments -------------------------------------------------------------- *)
 

@@ -1,12 +1,21 @@
-type t = { table : int array } (* -1 = free, otherwise owner id *)
+(* The owner array is the source of truth for attribution (who holds a
+   slot); the free mask and used counter are maintained incrementally
+   alongside it so the hot queries — utilization inside the path-cost
+   function, aligned-start intersection inside reservation — are O(1)
+   instead of folds over the table. *)
+type t = {
+  table : int array; (* -1 = free, otherwise owner id *)
+  free : Bitmask.t;  (* bit set <=> table slot = -1 *)
+  mutable used : int;
+}
 
 let create ~slots =
   if slots <= 0 then invalid_arg "Slot_table.create: need positive slot count";
-  { table = Array.make slots (-1) }
+  { table = Array.make slots (-1); free = Bitmask.create ~slots ~full:true; used = 0 }
 
 let slots t = Array.length t.table
 
-let copy t = { table = Array.copy t.table }
+let copy t = { table = Array.copy t.table; free = Bitmask.copy t.free; used = t.used }
 
 let norm t i =
   let s = slots t in
@@ -21,9 +30,17 @@ let owner t i =
 let reserve t ~slot ~owner =
   let i = norm t slot in
   if t.table.(i) <> -1 then invalid_arg "Slot_table.reserve: slot already owned";
-  t.table.(i) <- owner
+  t.table.(i) <- owner;
+  Bitmask.clear t.free i;
+  t.used <- t.used + 1
 
-let release t ~slot = t.table.(norm t slot) <- -1
+let release t ~slot =
+  let i = norm t slot in
+  if t.table.(i) <> -1 then begin
+    t.table.(i) <- -1;
+    Bitmask.set t.free i;
+    t.used <- t.used - 1
+  end
 
 let release_owner t ~owner =
   let freed = ref 0 in
@@ -31,22 +48,21 @@ let release_owner t ~owner =
     (fun i v ->
       if v = owner then begin
         t.table.(i) <- -1;
+        Bitmask.set t.free i;
         incr freed
       end)
     t.table;
+  t.used <- t.used - !freed;
   !freed
 
-let used_count t = Array.fold_left (fun acc v -> if v = -1 then acc else acc + 1) 0 t.table
-let free_count t = slots t - used_count t
+let used_count t = t.used
+let free_count t = slots t - t.used
 
-let free_slots t =
-  let acc = ref [] in
-  for i = slots t - 1 downto 0 do
-    if t.table.(i) = -1 then acc := i :: !acc
-  done;
-  !acc
+let free_mask t = t.free
 
-let utilization t = float_of_int (used_count t) /. float_of_int (slots t)
+let free_slots t = Bitmask.to_list t.free
+
+let utilization t = float_of_int t.used /. float_of_int (slots t)
 
 let pp ppf t =
   Array.iter

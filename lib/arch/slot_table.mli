@@ -30,8 +30,16 @@ val release_owner : t -> owner:int -> int
 (** Free every slot held by [owner]; returns how many were freed. *)
 
 val free_count : t -> int
+(** O(1): the count is maintained incrementally, not recomputed. *)
 
 val used_count : t -> int
+(** O(1). *)
+
+val free_mask : t -> Bitmask.t
+(** The live free-slot mask (bit set = slot free), maintained
+    incrementally by [reserve]/[release]/[release_owner].  This is a
+    view, not a copy: callers must treat it as read-only and must not
+    hold it across mutations they want to ignore. *)
 
 val free_slots : t -> int list
 (** Free slot indices, increasing. *)

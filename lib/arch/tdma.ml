@@ -13,13 +13,19 @@ let start_is_free ~tables ~start =
   Array.iteri (fun hop table -> if not (Slot_table.is_free table (start + hop)) then ok := false) tables;
   !ok
 
-let free_starts ~tables =
+(* A start [t] claims slot [t + hop] on the [hop]-th link, so the set
+   of feasible starts is the intersection of every hop's free mask
+   rotated by its hop number — one rotate-and-AND per hop instead of a
+   slots x hops probe loop. *)
+let free_start_mask ~tables =
   let s = check_tables tables in
-  let acc = ref [] in
-  for start = s - 1 downto 0 do
-    if start_is_free ~tables ~start then acc := start :: !acc
-  done;
-  !acc
+  let acc = Bitmask.create ~slots:s ~full:true in
+  Array.iteri
+    (fun hop table -> Bitmask.inter_rotated ~into:acc (Slot_table.free_mask table) ~shift:hop)
+    tables;
+  acc
+
+let free_starts ~tables = Bitmask.to_list (free_start_mask ~tables)
 
 (* Pick [count] starts out of the candidates, spreading them around
    the revolution to minimise the worst waiting gap: repeatedly take

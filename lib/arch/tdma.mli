@@ -16,6 +16,12 @@ val free_starts : tables:Slot_table.t array -> int list
     the slot tables of the path's links in travel order and must be
     non-empty; all tables must have equal size. *)
 
+val free_start_mask : tables:Slot_table.t array -> Bitmask.t
+(** Same set as {!free_starts}, as a fresh mask: the intersection of
+    every hop's free-slot mask rotated by its hop number.  Group-shared
+    reservation intersects these across members without building
+    intermediate lists. *)
+
 val choose_spread : slots:int -> candidates:int list -> count:int -> int list option
 (** Pick [count] of the [candidates] (starting-slot indices in a
     revolution of [slots]) spread as evenly as feasibility allows, to

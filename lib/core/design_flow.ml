@@ -20,7 +20,7 @@ type t = {
 
 let spec_of_use_cases ~name use_cases = { name; use_cases; parallel = []; smooth = [] }
 
-let run ?config ?(refine = false) spec =
+let run ?config ?parallel ?(refine = false) spec =
   match spec.use_cases with
   | [] -> Error "design flow: no use-cases"
   | _ -> (
@@ -31,7 +31,7 @@ let run ?config ?(refine = false) spec =
     List.iter (Switching.add_compound switching) compounds;
     let groups = Switching.groups switching in
     (* Phase 3: unified mapping and configuration. *)
-    match Mapping.map_design ?config ~groups all with
+    match Mapping.map_design ?config ?parallel ~groups all with
     | Error failure -> Error (Format.asprintf "%s: %a" spec.name Mapping.pp_failure failure)
     | Ok mapping ->
       let refinement = if refine then Some (Refine.anneal mapping all) else None in

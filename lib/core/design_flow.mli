@@ -31,12 +31,16 @@ type t = {
 
 val run :
   ?config:Noc_arch.Noc_config.t ->
+  ?parallel:bool ->
   ?refine:bool ->
   spec ->
   (t, string) result
-(** Run all phases.  [refine] (default false) additionally runs the
-    simulated-annealing placement refinement.  Fails with a readable
-    message when no mesh up to the growth cap maps the design. *)
+(** Run all phases.  [parallel] (default true) lets the phase-3 mesh
+    growth search evaluate sizes speculatively on separate domains (see
+    {!Mapping.map_design}; the result is unchanged).  [refine] (default
+    false) additionally runs the simulated-annealing placement
+    refinement.  Fails with a readable message when no mesh up to the
+    growth cap maps the design. *)
 
 val switch_count : t -> int
 (** Switches in the designed NoC (the §6.2 metric). *)

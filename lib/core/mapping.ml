@@ -23,6 +23,63 @@ type item = {
   mutable routed : bool;
 }
 
+type engine = Indexed | Reference
+
+(* Pending items of one (src, dst) pair in one group, split by service
+   class; filled once by the indexed engine and emptied by the first
+   route_pair on the pair. *)
+type bucket = { mutable gt : item list; mutable be : item list }
+
+(* Binary min-heap of item indices (min index on top), backing the
+   rank-partitioned worklist: the sorted-array index doubles as the
+   priority, so popping yields the highest-bandwidth pending item. *)
+module Int_heap = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 16 0; n = 0 }
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let bigger = Array.make (2 * h.n) 0 in
+      Array.blit h.a 0 bigger 0 h.n;
+      h.a <- bigger
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- x;
+    while !i > 0 && h.a.((!i - 1) / 2) > h.a.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.n && h.a.(l) < h.a.(!smallest) then smallest := l;
+        if r < h.n && h.a.(r) < h.a.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.a.(!smallest) in
+          h.a.(!smallest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
 let switch_count t = Mesh.switch_count t.mesh
 
 let switches_in_use t =
@@ -115,7 +172,7 @@ type placement_mode = Free | Fixed
 
 type placement_bias = Compact | Spread
 
-let run ~config ~mesh ~groups ~mode ~bias ~initial_placement use_cases =
+let run ~config ~mesh ~groups ~mode ~bias ~engine ~initial_placement use_cases =
   validate_inputs ~groups use_cases;
   (match Config.validate config with Ok () -> () | Error m -> invalid_arg m);
   let cores = (List.hd use_cases).Use_case.cores in
@@ -133,9 +190,68 @@ let run ~config ~mesh ~groups ~mode ~bias ~initial_placement use_cases =
       (fun s -> if s >= 0 then ni_used.(s) <- ni_used.(s) + 1)
       placement;
     let group_list = Array.of_list (List.map (fun g -> g) groups) in
+    let n_groups = Array.length group_list in
     let group_of = Array.make n_uc (-1) in
     Array.iteri (fun gi g -> List.iter (fun u -> group_of.(u) <- gi) g) group_list;
     let items = build_items use_cases in
+    let n_items = Array.length items in
+    let rank it =
+      (if placement.(it.flow.Flow.src) >= 0 then 1 else 0)
+      + if placement.(it.flow.Flow.dst) >= 0 then 1 else 0
+    in
+    (* Indexed engine: worklist heaps partitioned by endpoint-mapped
+       rank, plus a (src, dst) -> per-group pending index consumed
+       destructively by route_pair.  Ranks only grow (cores are never
+       unplaced within an attempt), so an item is pushed at most once
+       per rank and stale entries are skipped lazily on pop. *)
+    let heaps = Array.init 3 (fun _ -> Int_heap.create ()) in
+    let core_items = Array.make cores [] in
+    let pending_index : (int, bucket array) Hashtbl.t = Hashtbl.create (max 16 n_items) in
+    if engine = Indexed then begin
+      for i = n_items - 1 downto 0 do
+        let it = items.(i) in
+        Int_heap.push heaps.(rank it) i;
+        let src = it.flow.Flow.src and dst = it.flow.Flow.dst in
+        core_items.(src) <- i :: core_items.(src);
+        if dst <> src then core_items.(dst) <- i :: core_items.(dst);
+        let key = (src * cores) + dst in
+        let buckets =
+          match Hashtbl.find_opt pending_index key with
+          | Some b -> b
+          | None ->
+            let b = Array.init n_groups (fun _ -> { gt = []; be = [] }) in
+            Hashtbl.add pending_index key b;
+            b
+        in
+        let bucket = buckets.(group_of.(it.uc)) in
+        if Flow.is_guaranteed it.flow then bucket.gt <- it :: bucket.gt
+        else bucket.be <- it :: bucket.be
+      done
+    end;
+    (* Rank of items touching [core] just grew: re-file them. *)
+    let on_place core =
+      if engine = Indexed then
+        List.iter
+          (fun i ->
+            let it = items.(i) in
+            if not it.routed then Int_heap.push heaps.(rank it) i)
+          core_items.(core)
+    in
+    let rec pop_rank r =
+      match Int_heap.pop heaps.(r) with
+      | None -> None
+      | Some i ->
+        let it = items.(i) in
+        if it.routed || rank it <> r then pop_rank r else Some it
+    in
+    let pick () =
+      match engine with
+      | Reference -> pick_item items placement
+      | Indexed -> (
+        match pop_rank 2 with
+        | Some _ as s -> s
+        | None -> ( match pop_rank 1 with Some _ as s -> s | None -> pop_rank 0))
+    in
     (* Placement admission budgets: a switch may host cores whose
        traffic (per use-case) stays within (a) a fraction of its
        aggregate link bandwidth and (b) a multiple of the mesh-wide
@@ -227,12 +343,14 @@ let run ~config ~mesh ~groups ~mode ~bias ~initial_placement use_cases =
              (Printf.sprintf "no feasible switch for core %d (NIs full or network saturated)" core));
       placement.(core) <- !best;
       ni_used.(!best) <- ni_used.(!best) + 1;
-      commit_load core !best
+      commit_load core !best;
+      on_place core
     in
     (* Route the pair (src,dst) in every group that still has unrouted
        flows on that pair: one shared configuration per group (steps
        4-6 of Algorithm 2). *)
-    let route_pair ~src_core ~dst_core =
+    let use_masks = engine = Indexed in
+    let route_group ~src_core ~dst_core ~group ~active ~best_effort =
       let src_switch = placement.(src_core) and dst_switch = placement.(dst_core) in
       let fail_with active msg =
         raise
@@ -242,8 +360,54 @@ let run ~config ~mesh ~groups ~mode ~bias ~initial_placement use_cases =
                 (match active with it :: _ -> it.uc | [] -> -1)
                 msg))
       in
-      Array.iteri
-        (fun _gi g ->
+      (* Guaranteed flows share one configuration per group. *)
+      if active <> [] then begin
+        let active_ucs = List.map (fun it -> it.uc) active in
+        let passive =
+          List.filter_map
+            (fun u -> if List.mem u active_ucs then None else Some states.(u))
+            group
+        in
+        let members =
+          List.map
+            (fun it ->
+              ( states.(it.uc),
+                {
+                  Path_select.conn_id = fresh_conn ();
+                  flow = it.flow;
+                  src_switch;
+                  dst_switch;
+                } ))
+            active
+        in
+        match Path_select.route_shared ~passive ~use_masks ~members () with
+        | Ok rs ->
+          routes := List.rev_append rs !routes;
+          List.iter (fun it -> it.routed <- true) active
+        | Error msg -> fail_with active msg
+      end;
+      (* Best-effort flows are routed per use-case, with no
+         reservation: they take leftover slots at run time. *)
+      List.iter
+        (fun it ->
+          let req =
+            {
+              Path_select.conn_id = fresh_conn ();
+              flow = it.flow;
+              src_switch;
+              dst_switch;
+            }
+          in
+          match Path_select.route_be ~state:states.(it.uc) req with
+          | Ok r ->
+            routes := r :: !routes;
+            it.routed <- true
+          | Error msg -> fail_with [ it ] msg)
+        best_effort
+    in
+    let route_pair_reference ~src_core ~dst_core =
+      Array.iter
+        (fun g ->
           let pending service =
             Array.to_list items
             |> List.filter (fun it ->
@@ -253,57 +417,31 @@ let run ~config ~mesh ~groups ~mode ~bias ~initial_placement use_cases =
                    && it.flow.Flow.dst = dst_core
                    && it.flow.Flow.service = service)
           in
-          (* Guaranteed flows share one configuration per group. *)
-          let active = pending Flow.Guaranteed in
-          if active <> [] then begin
-            let active_ucs = List.map (fun it -> it.uc) active in
-            let passive =
-              List.filter_map
-                (fun u -> if List.mem u active_ucs then None else Some states.(u))
-                g
-            in
-            let members =
-              List.map
-                (fun it ->
-                  ( states.(it.uc),
-                    {
-                      Path_select.conn_id = fresh_conn ();
-                      flow = it.flow;
-                      src_switch;
-                      dst_switch;
-                    } ))
-                active
-            in
-            match Path_select.route_shared ~passive ~members () with
-            | Ok rs ->
-              routes := List.rev_append rs !routes;
-              List.iter (fun it -> it.routed <- true) active
-            | Error msg -> fail_with active msg
-          end;
-          (* Best-effort flows are routed per use-case, with no
-             reservation: they take leftover slots at run time. *)
-          List.iter
-            (fun it ->
-              let req =
-                {
-                  Path_select.conn_id = fresh_conn ();
-                  flow = it.flow;
-                  src_switch;
-                  dst_switch;
-                }
-              in
-              match Path_select.route_be ~state:states.(it.uc) req with
-              | Ok r ->
-                routes := r :: !routes;
-                it.routed <- true
-              | Error msg -> fail_with [ it ] msg)
-            (pending Flow.Best_effort))
+          route_group ~src_core ~dst_core ~group:g ~active:(pending Flow.Guaranteed)
+            ~best_effort:(pending Flow.Best_effort))
         group_list
+    in
+    let route_pair_indexed ~src_core ~dst_core =
+      match Hashtbl.find_opt pending_index ((src_core * cores) + dst_core) with
+      | None -> ()
+      | Some buckets ->
+        Array.iteri
+          (fun gi bucket ->
+            let active = bucket.gt and best_effort = bucket.be in
+            bucket.gt <- [];
+            bucket.be <- [];
+            route_group ~src_core ~dst_core ~group:group_list.(gi) ~active ~best_effort)
+          buckets
+    in
+    let route_pair =
+      match engine with
+      | Indexed -> route_pair_indexed
+      | Reference -> route_pair_reference
     in
     try
       let continue = ref true in
       while !continue do
-        match pick_item items placement with
+        match pick () with
         | None -> continue := false
         | Some it ->
           let src = it.flow.Flow.src and dst = it.flow.Flow.dst in
@@ -341,29 +479,62 @@ let run ~config ~mesh ~groups ~mode ~bias ~initial_placement use_cases =
     with Fail msg -> Error msg
   end
 
-let map_on_mesh ?(bias = Compact) ~config ~mesh ~groups use_cases =
+let map_on_mesh ?(bias = Compact) ?(engine = Indexed) ~config ~mesh ~groups use_cases =
   let cores = (List.hd use_cases).Use_case.cores in
-  run ~config ~mesh ~groups ~mode:Free ~bias ~initial_placement:(Array.make cores (-1)) use_cases
+  run ~config ~mesh ~groups ~mode:Free ~bias ~engine
+    ~initial_placement:(Array.make cores (-1)) use_cases
 
-let map_with_placement ~config ~mesh ~groups ~placement use_cases =
-  run ~config ~mesh ~groups ~mode:Fixed ~bias:Compact ~initial_placement:placement use_cases
+let map_with_placement ?(engine = Indexed) ~config ~mesh ~groups ~placement use_cases =
+  run ~config ~mesh ~groups ~mode:Fixed ~bias:Compact ~engine ~initial_placement:placement
+    use_cases
 
-let map_design ?(config = Config.default) ~groups use_cases =
+(* Attempts at different mesh sizes are fully independent — each builds
+   its own mesh and fresh per-use-case resource states — so the growth
+   loop can speculatively evaluate a window of sizes on worker domains
+   and keep the smallest success, reproducing the sequential result
+   (including the Compact-then-Spread retry at each size) exactly. *)
+let speculation_window = 4
+
+let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true) ~groups
+    use_cases =
   let sizes = Mesh.growth_sequence ~max_dim:config.Config.max_mesh_dim in
-  let rec go attempts = function
-    | [] -> Error { attempts = List.rev attempts }
-    | (w, h) :: rest -> (
-      let mesh = Mesh.create_kind ~kind:config.Config.topology ~width:w ~height:h in
-      match map_on_mesh ~bias:Compact ~config ~mesh ~groups use_cases with
+  let attempt (w, h) =
+    let mesh = Mesh.create_kind ~kind:config.Config.topology ~width:w ~height:h in
+    match map_on_mesh ~bias:Compact ~engine ~config ~mesh ~groups use_cases with
+    | Ok t -> Ok t
+    | Error compact_msg -> (
+      (* cheap backtrack: a spread placement sometimes rescues a size
+         where co-location saturated one region *)
+      match map_on_mesh ~bias:Spread ~engine ~config ~mesh ~groups use_cases with
       | Ok t -> Ok t
-      | Error compact_msg -> (
-        (* cheap backtrack: a spread placement sometimes rescues a size
-           where co-location saturated one region *)
-        match map_on_mesh ~bias:Spread ~config ~mesh ~groups use_cases with
-        | Ok t -> Ok t
-        | Error _ -> go ((w, h, compact_msg) :: attempts) rest))
+      | Error _ -> Error (w, h, compact_msg))
   in
-  go [] sizes
+  let rec sequential attempts = function
+    | [] -> Error { attempts = List.rev attempts }
+    | size :: rest -> (
+      match attempt size with Ok t -> Ok t | Error a -> sequential (a :: attempts) rest)
+  in
+  let rec take n = function
+    | x :: rest when n > 0 ->
+      let wave, beyond = take (n - 1) rest in
+      (x :: wave, beyond)
+    | l -> ([], l)
+  in
+  let rec waves window attempts = function
+    | [] -> Error { attempts = List.rev attempts }
+    | remaining ->
+      let wave, beyond = take window remaining in
+      let workers = List.map (fun size -> Domain.spawn (fun () -> attempt size)) wave in
+      let results = List.map Domain.join workers in
+      let rec scan attempts = function
+        | [] -> waves window attempts beyond
+        | Ok t :: _ -> Ok t (* smallest size first: later wave slots are speculative *)
+        | Error a :: more -> scan (a :: attempts) more
+      in
+      scan attempts results
+  in
+  let window = min (Domain.recommended_domain_count ()) speculation_window in
+  if (not parallel) || window <= 1 then sequential [] sizes else waves window [] sizes
 
 let pp_failure ppf { attempts } =
   Format.fprintf ppf "@[<v>mapping failed at every size:@ ";

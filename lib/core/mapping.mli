@@ -33,15 +33,34 @@ val switches_in_use : t -> int
 
 val routes_of_use_case : t -> int -> Noc_arch.Route.t list
 
+type engine =
+  | Indexed
+      (** rank-partitioned worklist heaps, a (src, dst) pending index
+          and bitmask slot intersection — the fast default *)
+  | Reference
+      (** the straightforward scan/filter/list-intersection
+          formulation, kept as the oracle for the determinism
+          regression tests.  Both engines produce byte-identical
+          placements, routes and slot assignments. *)
+
 val map_design :
   ?config:Noc_arch.Noc_config.t ->
+  ?engine:engine ->
+  ?parallel:bool ->
   groups:int list list ->
   Noc_traffic.Use_case.t list ->
   (t, failure) result
 (** Run Algorithm 2.  [groups] partitions the use-case ids (get it
     from {!Switching.groups}); use-case ids must equal their list
     position.  Tries mesh sizes from {!Noc_arch.Mesh.growth_sequence}
-    until one maps, or returns every size's failure reason. *)
+    until one maps, or returns every size's failure reason.
+
+    [parallel] (default [true]) evaluates a window of mesh sizes
+    speculatively on separate domains and keeps the smallest success;
+    the result is identical to the sequential search because each size
+    attempt is deterministic and independent.  Pass [false] (or run
+    where [Domain.recommended_domain_count () = 1]) for a strictly
+    sequential search. *)
 
 type placement_bias =
   | Compact  (** prefer co-locating near the traffic (default) *)
@@ -49,6 +68,7 @@ type placement_bias =
 
 val map_on_mesh :
   ?bias:placement_bias ->
+  ?engine:engine ->
   config:Noc_arch.Noc_config.t ->
   mesh:Noc_arch.Mesh.t ->
   groups:int list list ->
@@ -61,6 +81,7 @@ val map_on_mesh :
     greedy co-location paints itself into a corner. *)
 
 val map_with_placement :
+  ?engine:engine ->
   config:Noc_arch.Noc_config.t ->
   mesh:Noc_arch.Mesh.t ->
   groups:int list list ->

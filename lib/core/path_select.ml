@@ -20,11 +20,12 @@ let needed_slots state bw = Config.slots_for_bandwidth (Resources.config state) 
 (* Link cost seen by a set of group members routing together: usable
    only if every member still has the needed slots free; congestion is
    the worst member's utilization, so shared paths avoid regions that
-   are hot in any member.  [excluded] lets the caller blacklist links
-   whose slot alignment defeated a previous attempt. *)
-let member_cost ?(excluded = []) members ~needed =
+   are hot in any member.  [excluded] (indexed by link id) lets the
+   caller blacklist links whose slot alignment defeated a previous
+   attempt. *)
+let member_cost ?excluded members ~needed =
   fun ~edge ~src:_ ~dst:_ ->
-  if List.mem edge excluded then None
+  if (match excluded with Some ex -> ex.(edge) | None -> false) then None
   else begin
     let usable =
       List.for_all
@@ -42,14 +43,14 @@ let member_cost ?(excluded = []) members ~needed =
     end
   end
 
-let find_path ?(excluded = []) ~leader ~members ~needed ~src ~dst () =
+let find_path ?excluded ~leader ~members ~needed ~src ~dst () =
   let mesh = Resources.mesh leader in
   let config = Resources.config leader in
   match config.Config.routing with
   | Config.Min_cost ->
     (match
        Shortest_path.dijkstra (Mesh.graph mesh)
-         ~cost:(member_cost ~excluded members ~needed)
+         ~cost:(member_cost ?excluded members ~needed)
          ~source:src ~target:dst
      with
     | Some p -> Ok p.Shortest_path.edges
@@ -64,12 +65,41 @@ let find_path ?(excluded = []) ~leader ~members ~needed ~src ~dst () =
     in
     if ok then Ok links else Error "XY path lacks capacity"
 
-(* Feasible starting slots common to every member along the path. *)
+(* Feasible starting slots common to every member along the path:
+   rotate-and-AND every member's per-hop free mask into one accumulator.
+   [common_starts_reference] is the straightforward quadratic
+   list-intersection formulation; the determinism regression test pins
+   the fast path to it. *)
 let common_starts members links =
   match members with
   | [] -> invalid_arg "Path_select: no members"
+  | first :: _ ->
+    let slots = (Resources.config first).Config.slots in
+    let acc = Noc_arch.Bitmask.create ~slots ~full:true in
+    List.iter
+      (fun state ->
+        List.iteri
+          (fun hop l ->
+            Noc_arch.Bitmask.inter_rotated ~into:acc
+              (Noc_arch.Slot_table.free_mask (Resources.table state l))
+              ~shift:hop)
+          links)
+      members;
+    Noc_arch.Bitmask.to_list acc
+
+let common_starts_reference members links =
+  match members with
+  | [] -> invalid_arg "Path_select: no members"
   | first :: rest ->
-    let starts state = Tdma.free_starts ~tables:(Resources.path_tables state links) in
+    let starts state =
+      let tables = Resources.path_tables state links in
+      let slots = (Resources.config state).Config.slots in
+      let acc = ref [] in
+      for start = slots - 1 downto 0 do
+        if Tdma.start_is_free ~tables ~start then acc := start :: !acc
+      done;
+      !acc
+    in
     List.fold_left
       (fun acc state ->
         let s = starts state in
@@ -81,11 +111,12 @@ let common_starts members links =
    we escalate the count until the bound holds or candidates run out. *)
 let pick_starts ~config ~candidates ~needed ~hops ~lat_req =
   let slots = config.Config.slots in
+  let n_candidates = List.length candidates in
   let rec try_count k =
-    if k > List.length candidates then
+    if k > n_candidates then
       Error
         (Printf.sprintf "cannot meet latency %.0f ns (feasible starts %d, needed slots %d)"
-           lat_req (List.length candidates) needed)
+           lat_req n_candidates needed)
     else
       match Tdma.choose_spread ~slots ~candidates ~count:k with
       | None -> Error "not enough free aligned slots"
@@ -93,9 +124,8 @@ let pick_starts ~config ~candidates ~needed ~hops ~lat_req =
         let lat = Tdma.worst_case_latency_ns ~config ~starts ~hops in
         if lat <= lat_req then Ok starts else try_count (k + 1)
   in
-  if List.length candidates < needed then
-    Error
-      (Printf.sprintf "only %d aligned slots free, flow needs %d" (List.length candidates) needed)
+  if n_candidates < needed then
+    Error (Printf.sprintf "only %d aligned slots free, flow needs %d" n_candidates needed)
   else try_count needed
 
 let check_ni members =
@@ -138,7 +168,7 @@ let make_route ?(service = Route.Gt) ~use_case req links starts =
     slot_starts = starts;
   }
 
-let route_shared ?(passive = []) ~members () =
+let route_shared ?(passive = []) ?(use_masks = true) ~members () =
   match members with
   | [] -> invalid_arg "Path_select.route_shared: no members"
   | (first_state, first_req) :: _ ->
@@ -210,21 +240,29 @@ let route_shared ?(passive = []) ~members () =
             Some
               (List.fold_left (fun best l' -> if free_on l' < free_on best then l' else best) l rest)
         in
-        let rec attempt excluded tries last_err =
+        let excluded =
+          Array.make (Mesh.link_count (Resources.mesh first_state)) false
+        in
+        let rec attempt tries last_err =
           if tries > max_retries then Error last_err
           else
             match find_path ~excluded ~leader:first_state ~members:states ~needed ~src ~dst () with
             | Error e -> if tries = 0 then Error e else Error last_err
             | Ok links -> (
-              let candidates = common_starts states links in
+              let candidates =
+                if use_masks then common_starts states links
+                else common_starts_reference states links
+              in
               match pick_starts ~config ~candidates ~needed ~hops:(List.length links) ~lat_req with
               | Ok starts -> finish links starts
               | Error e -> (
                 match scarcest links with
                 | None -> Error e
-                | Some l -> attempt (l :: excluded) (tries + 1) e))
+                | Some l ->
+                  excluded.(l) <- true;
+                  attempt (tries + 1) e))
         in
-        attempt [] 0 "no feasible path"
+        attempt 0 "no feasible path"
       end
     end
 

@@ -25,6 +25,7 @@ val route : state:Resources.t -> request -> (Noc_arch.Route.t, string) result
 
 val route_shared :
   ?passive:Resources.t list ->
+  ?use_masks:bool ->
   members:(Resources.t * request) list ->
   unit ->
   (Noc_arch.Route.t list, string) result
@@ -39,6 +40,11 @@ val route_shared :
     flow themselves but share the group's single configuration: the
     same slots are reserved there too (owned by the first member's
     connection id), keeping every member's slot tables identical.
+
+    [use_masks] (default [true]) selects the rotate-and-AND bitmask
+    computation of the feasible shared starting slots; [false] falls
+    back to the straightforward list-intersection reference used by the
+    determinism regression tests.  Both compute the same set.
 
     On failure no state is modified. *)
 

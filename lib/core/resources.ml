@@ -17,8 +17,8 @@ let create ~config ~mesh ~use_case =
     config;
     mesh;
     tables = Array.init links (fun _ -> Slot_table.create ~slots:config.Config.slots);
-    (* The NI budget array is sized lazily on first use; we don't know
-       the core count here, so give it a generous fixed bound. *)
+    (* The core count is unknown here, so the NI budget array starts
+       empty and [ni_reserve] grows it on demand. *)
     ni_budget = [||];
   }
 

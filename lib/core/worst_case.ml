@@ -30,9 +30,9 @@ let synthetic use_cases =
     let flows = List.sort (fun a b -> compare (Flow.pair a) (Flow.pair b)) flows in
     Use_case.create ~id:0 ~name:"worst-case" ~cores flows
 
-let map_design ?config use_cases =
+let map_design ?config ?parallel use_cases =
   let wc = synthetic use_cases in
-  Mapping.map_design ?config ~groups:[ [ 0 ] ] [ wc ]
+  Mapping.map_design ?config ?parallel ~groups:[ [ 0 ] ] [ wc ]
 
 let overspecification use_cases =
   let wc = synthetic use_cases in

@@ -1,0 +1,77 @@
+(* Determinism regression: the indexed/bitset mapping engine (worklist
+   heaps, pending index, rotate-and-AND slot intersection) and the
+   parallel mesh-size search must produce byte-identical designs to the
+   straightforward Reference formulation — the reproduction tables in
+   EXPERIMENTS.md depend on it. *)
+
+module Mapping = Noc_core.Mapping
+module Route = Noc_arch.Route
+module Mesh = Noc_arch.Mesh
+module SD = Noc_benchkit.Soc_designs
+module Syn = Noc_benchkit.Synthetic
+
+let fingerprint (m : Mapping.t) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "mesh %dx%d\n" (Mesh.width m.Mapping.mesh) (Mesh.height m.Mapping.mesh));
+  Array.iteri (fun core s -> Buffer.add_string b (Printf.sprintf "core %d @ %d\n" core s))
+    m.Mapping.placement;
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "route %d uc%d %d->%d sw %d->%d %.6f %s links [%s] starts [%s]\n"
+           r.Route.flow_id r.Route.use_case r.Route.src_core r.Route.dst_core r.Route.src_switch
+           r.Route.dst_switch r.Route.bandwidth
+           (match r.Route.service with Route.Gt -> "gt" | Route.Be -> "be")
+           (String.concat "," (List.map string_of_int r.Route.links))
+           (String.concat "," (List.map string_of_int r.Route.slot_starts))))
+    m.Mapping.routes;
+  Buffer.contents b
+
+let design ~engine ~parallel ~groups ucs =
+  match Mapping.map_design ~engine ~parallel ~groups ucs with
+  | Ok m -> fingerprint m
+  | Error f -> Format.asprintf "FAILED: %a" Mapping.pp_failure f
+
+let check_workload name ~groups ucs () =
+  let reference = design ~engine:Mapping.Reference ~parallel:false ~groups ucs in
+  Alcotest.(check string)
+    (name ^ ": indexed sequential = reference")
+    reference
+    (design ~engine:Mapping.Indexed ~parallel:false ~groups ucs);
+  Alcotest.(check string)
+    (name ^ ": indexed parallel = reference")
+    reference
+    (design ~engine:Mapping.Indexed ~parallel:true ~groups ucs);
+  Alcotest.(check string)
+    (name ^ ": reference parallel = reference")
+    reference
+    (design ~engine:Mapping.Reference ~parallel:true ~groups ucs)
+
+let singleton_groups ucs = List.mapi (fun i _ -> [ i ]) ucs
+
+let d1_case () =
+  let ucs = SD.d1 () in
+  check_workload "D1" ~groups:(singleton_groups ucs) ucs ()
+
+let synthetic_case ~seed () =
+  let ucs = Syn.generate ~seed ~params:Syn.spread_params ~use_cases:5 in
+  check_workload (Printf.sprintf "Sp5 seed %d" seed) ~groups:(singleton_groups ucs) ucs ()
+
+(* Shared groups exercise the group-shared reservation (active/passive
+   members, mask intersection across several states). *)
+let grouped_case () =
+  let ucs = Syn.generate ~seed:300 ~params:Syn.bottleneck_params ~use_cases:5 in
+  check_workload "Bot5 grouped" ~groups:[ [ 0; 1 ]; [ 2; 3; 4 ] ] ucs ()
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "indexed engine vs reference",
+        [
+          Alcotest.test_case "D1" `Quick d1_case;
+          Alcotest.test_case "Sp5 seed 200" `Quick (synthetic_case ~seed:200);
+          Alcotest.test_case "Sp5 seed 4242" `Quick (synthetic_case ~seed:4242);
+          Alcotest.test_case "Bot5 shared groups" `Quick grouped_case;
+        ] );
+    ]

@@ -166,6 +166,64 @@ let prop_bias_variants_verify =
       in
       check Mapping.Compact && check Mapping.Spread)
 
+(* Slot-table mask/owner-array agreement: drive a random op sequence
+   (reserve / release / release_owner) and require the incrementally
+   maintained free mask and used counter to agree with the owner array
+   — the source of truth — after every step.  Sizes straddle the
+   one-word bitmask limit (62) to cover both representations. *)
+let prop_slot_table_mask_agrees =
+  QCheck.Test.make ~name:"slot table free mask/count = owner array" ~count:100
+    QCheck.(pair (int_range 1 80) (small_list (pair small_nat (int_bound 5))))
+    (fun (slots, ops) ->
+      let t = Slot_table.create ~slots in
+      let step (slot, op) =
+        let slot = slot mod slots in
+        match op with
+        | 0 | 1 | 2 ->
+          if Slot_table.is_free t slot then Slot_table.reserve t ~slot ~owner:(op + 1)
+        | 3 -> Slot_table.release t ~slot
+        | _ -> ignore (Slot_table.release_owner t ~owner:(op - 3))
+      in
+      List.for_all
+        (fun op ->
+          step op;
+          let mask = Slot_table.free_mask t in
+          let ok = ref (Noc_arch.Bitmask.slots mask = slots) in
+          let naive_used = ref 0 in
+          for i = 0 to slots - 1 do
+            let free = Slot_table.owner t i = None in
+            if free <> Slot_table.is_free t i then ok := false;
+            if free <> Noc_arch.Bitmask.mem mask i then ok := false;
+            if not free then incr naive_used
+          done;
+          !ok
+          && Slot_table.used_count t = !naive_used
+          && Slot_table.free_count t = slots - !naive_used
+          && Slot_table.free_slots t
+             = List.filter (Slot_table.is_free t) (List.init slots Fun.id))
+        ops)
+
+(* Tdma.free_starts (rotate-and-AND over masks) vs brute force over
+   start_is_free, on random partially filled paths. *)
+let prop_free_starts_match_brute_force =
+  QCheck.Test.make ~name:"Tdma.free_starts = brute-force start scan" ~count:100
+    QCheck.(triple (int_range 1 70) (int_range 1 6) (small_list (pair small_nat small_nat)))
+    (fun (slots, hops, reservations) ->
+      let tables = Array.init hops (fun _ -> Slot_table.create ~slots) in
+      List.iter
+        (fun (hop, slot) ->
+          let t = tables.(hop mod hops) in
+          let slot = slot mod slots in
+          if Slot_table.is_free t slot then Slot_table.reserve t ~slot ~owner:7)
+        reservations;
+      let brute =
+        List.filter
+          (fun start -> Noc_arch.Tdma.start_is_free ~tables ~start)
+          (List.init slots Fun.id)
+      in
+      Noc_arch.Tdma.free_starts ~tables = brute
+      && Noc_arch.Bitmask.to_list (Noc_arch.Tdma.free_start_mask ~tables) = brute)
+
 let () =
   Alcotest.run "cross_module_properties"
     [
@@ -180,5 +238,7 @@ let () =
             prop_buffer_totals_cover_every_route;
             prop_latency_bounds_respect_constraints;
             prop_bias_variants_verify;
+            prop_slot_table_mask_agrees;
+            prop_free_starts_match_brute_force;
           ] );
     ]
