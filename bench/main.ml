@@ -77,6 +77,36 @@ let bench_fig7c =
   Test.make ~name:"fig7c:compound-mode-design"
     (Staged.stage (fun () -> ignore (Mapping.map_design ~groups all)))
 
+(* The sweep-engine measurements behind the PR 3 acceptance criterion:
+   the fig7a frequency grid through Design_space.explore (warm starts
+   on), and the chunked ascending min-frequency scan.  Compare runs at
+   --jobs 1 vs --jobs N and with --cold to isolate pool vs warm-start
+   gains. *)
+let cold = Array.exists (( = ) "--cold") Sys.argv
+
+let bench_sweep_pareto_grid =
+  let ucs = SD.d1 () in
+  let groups = List.mapi (fun i _ -> [ i ]) ucs in
+  let axes =
+    { Noc_power.Design_space.default_axes with
+      Noc_power.Design_space.frequencies = Noc_power.Pareto.default_frequencies;
+      Noc_power.Design_space.slot_counts = [ Config.default.Config.slots ] }
+  in
+  Test.make ~name:"sweep:pareto-grid"
+    (Staged.stage (fun () ->
+         ignore
+           (Noc_power.Design_space.explore ~axes ~warm:(not cold) ~config:Config.default ~groups
+              ucs)))
+
+let bench_sweep_min_freq =
+  let ucs = SD.d1 () in
+  let design = (must_map ucs).DF.mapping in
+  Test.make ~name:"sweep:min-freq-parallel"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun u -> ignore (Noc_power.Min_freq.for_use_case_on_design ~design u))
+           ucs))
+
 let bench_substrate =
   (* not a paper figure: the simulator and RTL backend, for context *)
   let ucs = SD.example1_use_cases in
@@ -97,7 +127,7 @@ let suite =
   Test.make_grouped ~name:"nocmap"
     [
       bench_fig6a; bench_fig6b; bench_fig6c; bench_s62; bench_fig7a; bench_fig7b; bench_fig7c;
-      bench_substrate;
+      bench_sweep_pareto_grid; bench_sweep_min_freq; bench_substrate;
     ]
 
 (* Per-benchmark mean ns, sorted by name — the stable shape behind both
@@ -163,7 +193,18 @@ let print_worked_examples () =
   row "fig5-example1" SD.example1_use_cases;
   print_newline ()
 
+let parse_jobs () =
+  let n = Array.length Sys.argv in
+  let rec scan i =
+    if i >= n then ()
+    else if Sys.argv.(i) = "--jobs" && i + 1 < n then
+      Noc_util.Domain_pool.set_default_jobs (int_of_string Sys.argv.(i + 1))
+    else scan (i + 1)
+  in
+  scan 1
+
 let () =
+  parse_jobs ();
   if Array.exists (( = ) "--json") Sys.argv then write_json (measure_suite ())
   else begin
     print_endline "=== Reproduction of the paper's evaluation (Sec 6) ===";

@@ -71,6 +71,19 @@ let refine_arg =
   let doc = "Run the simulated-annealing placement refinement after mapping." in
   Arg.(value & flag & info [ "refine" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the shared pool (mesh-size speculation, design-space sweeps, experiment \
+     fan-out).  Defaults to the machine's recommended domain count."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | None -> ()
+  | Some j ->
+    if j < 1 then invalid_arg "--jobs must be >= 1";
+    Noc_util.Domain_pool.set_default_jobs j
+
 let sequential_arg =
   let doc =
     "Search mesh sizes strictly one at a time instead of speculatively evaluating a window of \
@@ -152,7 +165,8 @@ let load_spec ~bench ~use_cases ~seed ~spec_file =
     | Ok ucs -> Ok (DF.spec_of_use_cases ~name:bench ucs)
     | Error msg -> Error msg)
 
-let run_map bench use_cases seed freq slots nis xy refine sequential wc vhdl systemc spec_file =
+let run_map bench use_cases seed freq slots nis xy refine sequential wc jobs vhdl systemc spec_file =
+  apply_jobs jobs;
   match load_spec ~bench ~use_cases ~seed ~spec_file with
   | Error msg -> `Error (false, msg)
   | Ok spec -> (
@@ -181,7 +195,8 @@ let map_cmd =
     Term.(
       ret
         (const run_map $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
-        $ xy_arg $ refine_arg $ sequential_arg $ wc_arg $ vhdl_arg $ systemc_arg $ spec_arg))
+        $ xy_arg $ refine_arg $ sequential_arg $ wc_arg $ jobs_arg $ vhdl_arg $ systemc_arg
+        $ spec_arg))
 
 (* --- experiments -------------------------------------------------------------- *)
 
@@ -189,7 +204,8 @@ let experiments_arg =
   let doc = "Which experiment to run: all, fig6a, fig6b, fig6c, s62, fig7a, fig7b, fig7c, ablations." in
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 
-let run_experiments which =
+let run_experiments which jobs =
+  apply_jobs jobs;
   let module E = Noc_benchkit.Experiments in
   match String.lowercase_ascii which with
   | "all" ->
@@ -204,7 +220,7 @@ let run_experiments which =
 
 let experiments_cmd =
   let doc = "Regenerate the paper's evaluation figures (Fig 6a-c, Sec 6.2, Fig 7a-c)." in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(ret (const run_experiments $ experiments_arg))
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(ret (const run_experiments $ experiments_arg $ jobs_arg))
 
 (* --- generate ------------------------------------------------------------------- *)
 
@@ -318,7 +334,15 @@ let torus_axis_arg =
   let doc = "Also explore torus grids." in
   Arg.(value & flag & info [ "torus" ] ~doc)
 
-let run_explore bench use_cases seed torus =
+let cold_arg =
+  let doc =
+    "Disable placement-seeded warm starts: every sweep point runs the full growth search from \
+     scratch.  Slower; the feasibility set and switch counts are identical either way."
+  in
+  Arg.(value & flag & info [ "cold" ] ~doc)
+
+let run_explore bench use_cases seed torus cold jobs =
+  apply_jobs jobs;
   match load_benchmark ~name:bench ~use_cases ~seed with
   | Error msg -> `Error (false, msg)
   | Ok ucs ->
@@ -330,7 +354,7 @@ let run_explore bench use_cases seed torus =
       else base
     in
     let points =
-      Noc_power.Design_space.explore ~axes ~config:Config.default ~groups ucs
+      Noc_power.Design_space.explore ~axes ~warm:(not cold) ~config:Config.default ~groups ucs
     in
     Noc_power.Design_space.print points;
     `Ok ()
@@ -339,7 +363,10 @@ let explore_cmd =
   let doc = "Explore the (frequency x slot-table x topology) design space and mark the Pareto front." in
   Cmd.v
     (Cmd.info "explore" ~doc)
-    Term.(ret (const run_explore $ bench_arg $ use_cases_arg $ seed_arg $ torus_axis_arg))
+    Term.(
+      ret
+        (const run_explore $ bench_arg $ use_cases_arg $ seed_arg $ torus_axis_arg $ cold_arg
+       $ jobs_arg))
 
 (* --- report ------------------------------------------------------------------------ *)
 

@@ -8,7 +8,11 @@
 type method_result = {
   switches : int option;    (** NoC size; [None] = no feasible mapping *)
   mesh : (int * int) option;
-  seconds : float;          (** wall-clock of the design run *)
+  seconds : float;          (** wall-clock (monotonic-enough) of the mapping run *)
+  cpu_seconds : float;
+      (** CPU time of the same run.  Under the domain pool the two
+          diverge: [Sys.time] sums across worker domains, wall clock is
+          what the user waits for. *)
 }
 
 type comparison_row = {
@@ -19,7 +23,12 @@ type comparison_row = {
 }
 
 val fig6a : unit -> comparison_row list
-(** Fig 6(a): normalized switch count on the SoC designs D1-D4. *)
+(** Fig 6(a): normalized switch count on the SoC designs D1-D4.
+
+    This and every other multi-point figure runs its per-point bodies
+    on the shared {!Noc_util.Domain_pool} (bounded by the [--jobs]
+    default), with compound generation, switching-group computation and
+    WC worst-case synthesis hoisted out of the timed mapping runs. *)
 
 val fig6b : ?counts:int list -> unit -> comparison_row list
 (** Fig 6(b): Sp benchmarks, default use-case counts 2,5,10,15,20. *)

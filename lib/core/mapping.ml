@@ -488,11 +488,25 @@ let map_with_placement ?(engine = Indexed) ~config ~mesh ~groups ~placement use_
   run ~config ~mesh ~groups ~mode:Fixed ~bias:Compact ~engine ~initial_placement:placement
     use_cases
 
+(* One mesh-size attempt of the growth loop: greedy Compact placement,
+   then the cheap whole-attempt backtrack to Spread (co-location
+   sometimes saturates one region that an emptier spread survives).
+   Exposed so the design-space sweep can warm-start a point by retrying
+   a known-good size directly. *)
+let map_attempt ?(engine = Indexed) ~config ~mesh ~groups use_cases =
+  match map_on_mesh ~bias:Compact ~engine ~config ~mesh ~groups use_cases with
+  | Ok t -> Ok t
+  | Error compact_msg -> (
+    match map_on_mesh ~bias:Spread ~engine ~config ~mesh ~groups use_cases with
+    | Ok t -> Ok t
+    | Error _ -> Error compact_msg)
+
 (* Attempts at different mesh sizes are fully independent — each builds
    its own mesh and fresh per-use-case resource states — so the growth
-   loop can speculatively evaluate a window of sizes on worker domains
-   and keep the smallest success, reproducing the sequential result
-   (including the Compact-then-Spread retry at each size) exactly. *)
+   loop can speculatively evaluate a window of sizes on the shared
+   domain pool and keep the smallest success, reproducing the
+   sequential result (including the Compact-then-Spread retry at each
+   size) exactly. *)
 let speculation_window = 4
 
 let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true) ~groups
@@ -500,14 +514,9 @@ let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
   let sizes = Mesh.growth_sequence ~max_dim:config.Config.max_mesh_dim in
   let attempt (w, h) =
     let mesh = Mesh.create_kind ~kind:config.Config.topology ~width:w ~height:h in
-    match map_on_mesh ~bias:Compact ~engine ~config ~mesh ~groups use_cases with
+    match map_attempt ~engine ~config ~mesh ~groups use_cases with
     | Ok t -> Ok t
-    | Error compact_msg -> (
-      (* cheap backtrack: a spread placement sometimes rescues a size
-         where co-location saturated one region *)
-      match map_on_mesh ~bias:Spread ~engine ~config ~mesh ~groups use_cases with
-      | Ok t -> Ok t
-      | Error _ -> Error (w, h, compact_msg))
+    | Error compact_msg -> Error (w, h, compact_msg)
   in
   let rec sequential attempts = function
     | [] -> Error { attempts = List.rev attempts }
@@ -524,8 +533,7 @@ let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
     | [] -> Error { attempts = List.rev attempts }
     | remaining ->
       let wave, beyond = take window remaining in
-      let workers = List.map (fun size -> Domain.spawn (fun () -> attempt size)) wave in
-      let results = List.map Domain.join workers in
+      let results = Noc_util.Domain_pool.run (List.map (fun size () -> attempt size) wave) in
       let rec scan attempts = function
         | [] -> waves window attempts beyond
         | Ok t :: _ -> Ok t (* smallest size first: later wave slots are speculative *)
@@ -533,7 +541,7 @@ let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
       in
       scan attempts results
   in
-  let window = min (Domain.recommended_domain_count ()) speculation_window in
+  let window = min (Noc_util.Domain_pool.effective_jobs ()) speculation_window in
   if (not parallel) || window <= 1 then sequential [] sizes else waves window [] sizes
 
 let pp_failure ppf { attempts } =

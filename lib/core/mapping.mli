@@ -56,10 +56,11 @@ val map_design :
     until one maps, or returns every size's failure reason.
 
     [parallel] (default [true]) evaluates a window of mesh sizes
-    speculatively on separate domains and keeps the smallest success;
-    the result is identical to the sequential search because each size
-    attempt is deterministic and independent.  Pass [false] (or run
-    where [Domain.recommended_domain_count () = 1]) for a strictly
+    speculatively on the shared {!Noc_util.Domain_pool} workers and
+    keeps the smallest success; the result is identical to the
+    sequential search because each size attempt is deterministic and
+    independent.  Pass [false] (or run with
+    [Noc_util.Domain_pool.set_default_jobs 1]) for a strictly
     sequential search. *)
 
 type placement_bias =
@@ -79,6 +80,19 @@ val map_on_mesh :
     size with [Compact] first and retries with [Spread] before growing
     the mesh — a cheap whole-attempt backtrack that rescues sizes where
     greedy co-location paints itself into a corner. *)
+
+val map_attempt :
+  ?engine:engine ->
+  config:Noc_arch.Noc_config.t ->
+  mesh:Noc_arch.Mesh.t ->
+  groups:int list list ->
+  Noc_traffic.Use_case.t list ->
+  (t, string) result
+(** One mesh-size attempt exactly as the growth loop runs it: greedy
+    [Compact] placement first, then the [Spread] backtrack, returning
+    the compact attempt's error when both fail.  This is the unit the
+    design-space sweep warm-starts: retry a known-good size directly
+    before falling back to the full growth search. *)
 
 val map_with_placement :
   ?engine:engine ->

@@ -152,6 +152,17 @@ let parse_file path =
     parse ~name text
   | exception Sys_error msg -> Error { line = 0; message = msg }
 
+(* Shortest decimal form that parses back to the exact float: specs
+   written by [to_text] must survive the round-trip bit-for-bit (six
+   significant digits lose up to ~1e-3 of aggregate bandwidth over a
+   large use-case). *)
+let float_repr x =
+  let six = Printf.sprintf "%.6g" x in
+  if float_of_string six = x then six
+  else
+    let twelve = Printf.sprintf "%.12g" x in
+    if float_of_string twelve = x then twelve else Printf.sprintf "%.17g" x
+
 let to_text (spec : Design_flow.spec) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "name %s\n" spec.Design_flow.name);
@@ -165,9 +176,9 @@ let to_text (spec : Design_flow.spec) =
       List.iter
         (fun f ->
           Buffer.add_string buf
-            (Printf.sprintf "  flow %d -> %d bw %.6g%s%s\n" f.Flow.src f.Flow.dst
-               f.Flow.bandwidth
-               (if f.Flow.latency_ns <> infinity then Printf.sprintf " lat %.6g" f.Flow.latency_ns
+            (Printf.sprintf "  flow %d -> %d bw %s%s%s\n" f.Flow.src f.Flow.dst
+               (float_repr f.Flow.bandwidth)
+               (if f.Flow.latency_ns <> infinity then " lat " ^ float_repr f.Flow.latency_ns
                 else "")
                (if Flow.is_guaranteed f then "" else " be")))
         u.Use_case.flows)

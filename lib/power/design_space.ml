@@ -1,6 +1,7 @@
 module Config = Noc_arch.Noc_config
 module Mesh = Noc_arch.Mesh
 module Mapping = Noc_core.Mapping
+module Domain_pool = Noc_util.Domain_pool
 
 type axes = {
   frequencies : Noc_util.Units.frequency list;
@@ -11,6 +12,8 @@ type axes = {
 let default_axes =
   { frequencies = [ 250.0; 500.0; 1000.0 ]; slot_counts = [ 16; 32; 64 ]; topologies = [ Mesh.Mesh ] }
 
+type start = Cold | Warm
+
 type point = {
   freq_mhz : Noc_util.Units.frequency;
   slots : int;
@@ -18,30 +21,143 @@ type point = {
   switches : int option;
   area_mm2 : Noc_util.Units.area option;
   power_mw : float option;
+  start : start;
 }
 
-let explore ?(axes = default_axes) ~config ~groups use_cases =
-  let run freq slots topology =
-    let cfg = { config with Config.freq_mhz = freq; slots; topology } in
-    match Mapping.map_design ~config:cfg ~groups use_cases with
-    | Ok m ->
-      {
-        freq_mhz = freq;
-        slots;
-        topology;
-        switches = Some (Mapping.switch_count m);
-        area_mm2 = Some (Area_model.noc_area m);
-        power_mw = Some (Power_model.noc_power m).Power_model.total_mw;
-      }
-    | Error _ ->
-      { freq_mhz = freq; slots; topology; switches = None; area_mm2 = None; power_mw = None }
+(* A solved point's reusable state: its mesh dimensions and core
+   placement.  The placement array is shared read-only across waves
+   ([Mapping.run] copies its initial placement). *)
+type seed = { w : int; h : int; placement : int array }
+
+let point_of_mapping ~freq ~slots ~topology ~start (m : Mapping.t) =
+  let p =
+    {
+      freq_mhz = freq;
+      slots;
+      topology;
+      switches = Some (Mapping.switch_count m);
+      area_mm2 = Some (Area_model.noc_area m);
+      power_mw = Some (Power_model.noc_power m).Power_model.total_mw;
+      start;
+    }
   in
+  let mesh = m.Mapping.mesh in
+  (p, Some { w = Mesh.width mesh; h = Mesh.height mesh; placement = m.Mapping.placement })
+
+let infeasible ~freq ~slots ~topology =
+  ( { freq_mhz = freq; slots; topology; switches = None; area_mm2 = None; power_mw = None; start = Cold },
+    None )
+
+(* Warm start: the growth search still walks every size below the
+   seed's (so the result stays the smallest feasible size the cold
+   search would find), but the seed size itself is retried with the
+   neighbour's placement — routing only, no placement search — before
+   the normal Compact/Spread attempt.  Flat regions of the sweep, where
+   neighbouring points land on the same mesh, skip the whole placement
+   search; when the seeded retry fails the point degrades to the exact
+   cold behaviour from that size onward. *)
+let solve ~config ~groups ~use_cases ~freq ~slots ~topology seed_opt =
+  let cfg = { config with Config.freq_mhz = freq; slots; topology } in
+  let cold () =
+    match Mapping.map_design ~config:cfg ~groups use_cases with
+    | Ok m -> point_of_mapping ~freq ~slots ~topology ~start:Cold m
+    | Error _ -> infeasible ~freq ~slots ~topology
+  in
+  match seed_opt with
+  | None -> cold ()
+  | Some seed -> (
+    let sizes = Mesh.growth_sequence ~max_dim:cfg.Config.max_mesh_dim in
+    let smaller = List.filter (fun (w, h) -> w * h < seed.w * seed.h) sizes in
+    let attempt (w, h) =
+      let mesh = Mesh.create_kind ~kind:topology ~width:w ~height:h in
+      Mapping.map_attempt ~config:cfg ~mesh ~groups use_cases
+    in
+    let rec below = function
+      | [] ->
+        (* every smaller size failed: retry the seed's size with the
+           neighbour's placement, then cold from the seed size up *)
+        let mesh = Mesh.create_kind ~kind:topology ~width:seed.w ~height:seed.h in
+        (match
+           Mapping.map_with_placement ~config:cfg ~mesh ~groups ~placement:seed.placement
+             use_cases
+         with
+        | Ok m -> point_of_mapping ~freq ~slots ~topology ~start:Warm m
+        | Error _ ->
+          let rest = List.filter (fun (w, h) -> w * h >= seed.w * seed.h) sizes in
+          let rec upward = function
+            | [] -> infeasible ~freq ~slots ~topology
+            | size :: more -> (
+              match attempt size with
+              | Ok m -> point_of_mapping ~freq ~slots ~topology ~start:Cold m
+              | Error _ -> upward more)
+          in
+          upward rest)
+      | size :: more -> (
+        match attempt size with
+        | Ok m -> point_of_mapping ~freq ~slots ~topology ~start:Cold m
+        | Error _ -> below more)
+    in
+    below smaller)
+
+let explore ?(axes = default_axes) ?jobs ?(warm = true) ~config ~groups use_cases =
+  let topos = Array.of_list axes.topologies in
+  let slot_axis = Array.of_list (List.sort compare axes.slot_counts) in
+  let freq_axis = Array.of_list (List.sort compare axes.frequencies) in
+  let nt = Array.length topos and ns = Array.length slot_axis and nf = Array.length freq_axis in
+  let idx ti si fi = ((ti * ns) + si) * nf + fi in
+  let results = Array.make (nt * ns * nf) None in
+  let seeds : seed option array = Array.make (nt * ns * nf) None in
+  (* Nearest already-solved neighbour of (ti, si, fi): same topology,
+     smallest slot distance, then smallest frequency distance.  Only
+     earlier waves are consulted, so the choice — and with it the whole
+     sweep — is independent of [jobs]. *)
+  let seed_for ti si fi =
+    let best = ref None in
+    for sj = 0 to ns - 1 do
+      for fj = 0 to nf - 1 do
+        match seeds.(idx ti sj fj) with
+        | Some seed -> (
+          let d = (abs (si - sj), abs (fi - fj), sj, fj) in
+          match !best with
+          | Some (d', _) when compare d' d <= 0 -> ()
+          | _ -> best := Some (d, seed))
+        | None -> ()
+      done
+    done;
+    Option.map snd !best
+  in
+  (* Waves along the frequency axis: every (topology, slots) pair of
+     one frequency runs concurrently; later waves warm-start from the
+     results of earlier ones. *)
+  for fi = 0 to nf - 1 do
+    let cells = List.concat_map (fun ti -> List.init ns (fun si -> (ti, si))) (List.init nt Fun.id) in
+    let tasks =
+      List.map
+        (fun (ti, si) ->
+          let seed = if warm then seed_for ti si fi else None in
+          ((ti, si), seed))
+        cells
+    in
+    let solved =
+      Domain_pool.map ?jobs
+        (fun ((ti, si), seed) ->
+          solve ~config ~groups ~use_cases ~freq:freq_axis.(fi) ~slots:slot_axis.(si)
+            ~topology:topos.(ti) seed)
+        tasks
+    in
+    List.iter2
+      (fun ((ti, si), _) (p, seed) ->
+        results.(idx ti si fi) <- Some p;
+        seeds.(idx ti si fi) <- seed)
+      tasks solved
+  done;
   List.concat_map
-    (fun topology ->
+    (fun ti ->
       List.concat_map
-        (fun slots -> List.map (fun f -> run f slots topology) (List.sort compare axes.frequencies))
-        (List.sort compare axes.slot_counts))
-    axes.topologies
+        (fun si ->
+          List.map (fun fi -> Option.get results.(idx ti si fi)) (List.init nf Fun.id))
+        (List.init ns Fun.id))
+    (List.init nt Fun.id)
 
 let dominates a b =
   (* a dominates b in (area, power) *)
@@ -49,19 +165,29 @@ let dominates a b =
   | Some aa, Some ap, Some ba, Some bp -> aa <= ba && ap <= bp && (aa < ba || ap < bp)
   | _ -> false
 
+(* Front membership by position, not physical identity: [List.memq]
+   would silently unmark every member if points were ever rebuilt
+   (copied, serialized, mapped) between [pareto] and the caller. *)
+let pareto_flags points =
+  let arr = Array.of_list points in
+  Array.map
+    (fun p ->
+      p.switches <> None && not (Array.exists (fun q -> q.switches <> None && dominates q p) arr))
+    arr
+
 let pareto points =
-  let feasible = List.filter (fun p -> p.switches <> None) points in
-  List.filter (fun p -> not (List.exists (fun q -> dominates q p) feasible)) feasible
+  let flags = pareto_flags points in
+  List.filteri (fun i _ -> flags.(i)) points
 
 let print points =
-  let front = pareto points in
-  let on_front p = List.memq p front in
+  let flags = pareto_flags points in
   let t =
     Noc_util.Ascii_table.create
-      ~header:[ "topology"; "slots"; "freq (MHz)"; "switches"; "area (mm2)"; "power (mW)"; "pareto" ]
+      ~header:
+        [ "topology"; "slots"; "freq (MHz)"; "switches"; "area (mm2)"; "power (mW)"; "start"; "pareto" ]
   in
-  List.iter
-    (fun p ->
+  List.iteri
+    (fun i p ->
       Noc_util.Ascii_table.add_row t
         [
           (match p.topology with Mesh.Mesh -> "mesh" | Mesh.Torus -> "torus");
@@ -70,7 +196,8 @@ let print points =
           (match p.switches with Some s -> string_of_int s | None -> "infeasible");
           (match p.area_mm2 with Some a -> Printf.sprintf "%.3f" a | None -> "-");
           (match p.power_mw with Some w -> Printf.sprintf "%.1f" w | None -> "-");
-          (if p.switches <> None && on_front p then "*" else "");
+          (match p.start with Warm -> "warm" | Cold -> "cold");
+          (if flags.(i) then "*" else "");
         ])
     points;
   Noc_util.Ascii_table.print t

@@ -5,7 +5,19 @@
     gets every feasible design point with its NoC size, switch area and
     power — plus the Pareto-optimal subset over (area, power).  This is
     the "choose the optimum design point based on the objectives of the
-    designer" step the paper leaves to the reader (§6.3). *)
+    designer" step the paper leaves to the reader (§6.3).
+
+    The sweep runs in frequency waves on the shared
+    {!Noc_util.Domain_pool}: every (topology, slots) cell of one
+    frequency is solved concurrently, and later waves {e warm-start}
+    from the nearest already-solved neighbour (same topology, nearest
+    slots, then nearest frequency).  A warm start keeps the cold
+    search's minimality — every mesh size below the neighbour's is
+    still attempted — but retries the neighbour's size with its
+    placement (routing only) before paying for a fresh placement
+    search, and degrades to the exact cold behaviour when that retry
+    fails.  Warm-start scheduling depends only on earlier waves, never
+    on timing, so the sweep result is independent of [jobs]. *)
 
 type axes = {
   frequencies : Noc_util.Units.frequency list;
@@ -16,6 +28,10 @@ type axes = {
 val default_axes : axes
 (** Frequencies 250/500/1000 MHz, 16/32/64 slots, mesh only. *)
 
+type start =
+  | Cold  (** full growth search (or a warm retry that fell back) *)
+  | Warm  (** solved by the neighbour-seeded placement retry *)
+
 type point = {
   freq_mhz : Noc_util.Units.frequency;
   slots : int;
@@ -23,21 +39,35 @@ type point = {
   switches : int option;            (** [None] = infeasible *)
   area_mm2 : Noc_util.Units.area option;
   power_mw : float option;          (** design-point power *)
+  start : start;                    (** which path produced the result *)
 }
 
 val explore :
   ?axes:axes ->
+  ?jobs:int ->
+  ?warm:bool ->
   config:Noc_arch.Noc_config.t ->
   groups:int list list ->
   Noc_traffic.Use_case.t list ->
   point list
 (** Run the design flow at every axis combination (other knobs from
-    [config]); points come out in a deterministic axis order. *)
+    [config]); points come out in a deterministic axis order
+    (topology-major, then slots, then frequency, each ascending).
+    [jobs] bounds the pool parallelism (default:
+    {!Noc_util.Domain_pool.default_jobs}); [warm] (default [true])
+    enables placement-seeded warm starts — [false] is the [--cold]
+    escape hatch that forces every point through the full growth
+    search.  Warm and cold agree on the feasibility set and switch
+    counts (pinned by the determinism tests). *)
 
 val pareto : point list -> point list
 (** Feasible points not dominated in (area, power): a point is dropped
     when another has area and power both no worse and one strictly
     better. *)
+
+val pareto_flags : point list -> bool array
+(** Front membership by position in the input list — structural, so it
+    keeps working when callers rebuild or reorder point values. *)
 
 val print : point list -> unit
 (** Render the space (and mark the Pareto members) as a table. *)

@@ -1,16 +1,40 @@
 module Config = Noc_arch.Noc_config
 module Use_case = Noc_traffic.Use_case
 module Mapping = Noc_core.Mapping
+module Domain_pool = Noc_util.Domain_pool
 
 let default_grid = List.init 80 (fun i -> 25.0 *. float_of_int (i + 1))
 
 (* The grid is tried in increasing order; a binary search would be
    wrong because TDMA feasibility is not perfectly monotonic in
-   frequency (slot granularity effects), and the grids are tiny. *)
-let search grid feasible =
-  List.find_opt feasible (List.sort compare grid)
+   frequency (slot granularity effects).  The parallel scan keeps those
+   semantics: grid points are probed in ascending chunks of [jobs]
+   levels, stopping at the first chunk containing a feasible one, so
+   the answer is always the smallest feasible level and at most
+   [jobs - 1] probes beyond the sequential scan are wasted. *)
+let search ?jobs grid feasible =
+  let jobs = Domain_pool.effective_jobs ?jobs () in
+  let rec chunks = function
+    | [] -> None
+    | levels ->
+      let rec split n = function
+        | x :: rest when n > 0 ->
+          let chunk, beyond = split (n - 1) rest in
+          (x :: chunk, beyond)
+        | l -> ([], l)
+      in
+      let chunk, beyond = split jobs levels in
+      let verdicts = Domain_pool.map ~jobs feasible chunk in
+      let rec first = function
+        | f :: _, true :: _ -> Some f
+        | _ :: fs, _ :: vs -> first (fs, vs)
+        | _ -> None
+      in
+      (match first (chunk, verdicts) with Some f -> Some f | None -> chunks beyond)
+  in
+  chunks (List.sort compare grid)
 
-let for_use_case_on_design ?(grid = default_grid) ~design use_case =
+let for_use_case_on_design ?(grid = default_grid) ?jobs ~design use_case =
   let config = design.Mapping.config in
   let mesh = design.Mapping.mesh in
   let placement = design.Mapping.placement in
@@ -23,13 +47,13 @@ let for_use_case_on_design ?(grid = default_grid) ~design use_case =
     | Ok _ -> true
     | Error _ -> false
   in
-  search grid feasible
+  search ?jobs grid feasible
 
-let for_use_cases_on_mesh ?(grid = default_grid) ~config ~mesh ~groups use_cases =
+let for_use_cases_on_mesh ?(grid = default_grid) ?jobs ~config ~mesh ~groups use_cases =
   let feasible f =
     let cfg = Config.with_freq config f in
     match Mapping.map_on_mesh ~config:cfg ~mesh ~groups use_cases with
     | Ok _ -> true
     | Error _ -> false
   in
-  search grid feasible
+  search ?jobs grid feasible

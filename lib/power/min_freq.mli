@@ -8,8 +8,21 @@
 val default_grid : Noc_util.Units.frequency list
 (** Candidate DVS levels: 25 MHz steps from 25 MHz to 2000 MHz. *)
 
+val search :
+  ?jobs:int ->
+  Noc_util.Units.frequency list ->
+  (Noc_util.Units.frequency -> bool) ->
+  Noc_util.Units.frequency option
+(** Smallest grid level accepted by the feasibility probe.  The grid is
+    scanned in ascending order (feasibility is not perfectly monotonic
+    in frequency, so no binary search); with [jobs > 1] the scan probes
+    ascending chunks of [jobs] levels concurrently on the shared
+    {!Noc_util.Domain_pool}, which returns the identical answer while
+    wasting at most [jobs - 1] probes past the sequential stop. *)
+
 val for_use_case_on_design :
   ?grid:Noc_util.Units.frequency list ->
+  ?jobs:int ->
   design:Noc_core.Mapping.t ->
   Noc_traffic.Use_case.t ->
   Noc_util.Units.frequency option
@@ -22,6 +35,7 @@ val for_use_case_on_design :
 
 val for_use_cases_on_mesh :
   ?grid:Noc_util.Units.frequency list ->
+  ?jobs:int ->
   config:Noc_arch.Noc_config.t ->
   mesh:Noc_arch.Mesh.t ->
   groups:int list list ->

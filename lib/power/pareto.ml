@@ -10,15 +10,24 @@ type point = {
 let default_frequencies =
   [ 100.0; 125.0; 150.0; 175.0; 200.0; 250.0; 300.0; 350.0; 400.0; 500.0; 650.0; 800.0; 1000.0; 1250.0; 1500.0; 1750.0; 2000.0 ]
 
-let sweep ?(frequencies = default_frequencies) ~config ~groups use_cases =
-  let run f =
-    let cfg = Config.with_freq config f in
-    match Mapping.map_design ~config:cfg ~groups use_cases with
-    | Ok m ->
-      { freq_mhz = f; switches = Some (Mapping.switch_count m); area_mm2 = Some (Area_model.noc_area m) }
-    | Error _ -> { freq_mhz = f; switches = None; area_mm2 = None }
+(* The frequency sweep is a one-row slice of the full design space, so
+   it inherits the pool parallelism and placement-seeded warm starts of
+   [Design_space.explore] for free. *)
+let sweep ?(frequencies = default_frequencies) ?jobs ?warm ~config ~groups use_cases =
+  let axes =
+    {
+      Design_space.frequencies;
+      slot_counts = [ config.Config.slots ];
+      topologies = [ config.Config.topology ];
+    }
   in
-  List.map run (List.sort compare frequencies)
+  Design_space.explore ~axes ?jobs ?warm ~config ~groups use_cases
+  |> List.map (fun p ->
+         {
+           freq_mhz = p.Design_space.freq_mhz;
+           switches = p.Design_space.switches;
+           area_mm2 = p.Design_space.area_mm2;
+         })
 
 let pareto_front points =
   let feasible =

@@ -17,12 +17,18 @@ val default_frequencies : Noc_util.Units.frequency list
 
 val sweep :
   ?frequencies:Noc_util.Units.frequency list ->
+  ?jobs:int ->
+  ?warm:bool ->
   config:Noc_arch.Noc_config.t ->
   groups:int list list ->
   Noc_traffic.Use_case.t list ->
   point list
 (** Run the design flow at every frequency (other configuration knobs
-    taken from [config]) and record NoC size and total switch area. *)
+    taken from [config]) and record NoC size and total switch area.
+    The sweep is a one-row slice of {!Design_space.explore}, so it runs
+    on the shared domain pool ([jobs]) with placement-seeded warm
+    starts ([warm], default [true]; [false] forces every point through
+    the full growth search). *)
 
 val pareto_front : point list -> point list
 (** The non-dominated subset: points where no other point has both a

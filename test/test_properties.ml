@@ -203,6 +203,117 @@ let prop_slot_table_mask_agrees =
              = List.filter (Slot_table.is_free t) (List.init slots Fun.id))
         ops)
 
+(* Domain pool: for any task list, the pooled map must equal the
+   sequential map — same results in the same order — and when tasks
+   raise, the pool must re-raise exactly what a left-to-right
+   sequential run would (the lowest-index failure). *)
+let prop_domain_pool_matches_sequential =
+  QCheck.Test.make ~name:"Domain_pool.map = List.map (ordered, any jobs)" ~count:50
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(int_bound 40) small_int))
+    (fun (jobs, xs) ->
+      let f x = (x * 7919) lxor (x lsl 3) in
+      Noc_util.Domain_pool.map ~jobs f xs = List.map f xs
+      && Noc_util.Domain_pool.run ~jobs (List.map (fun x () -> f x) xs) = List.map f xs)
+
+let prop_domain_pool_raises_like_sequential =
+  QCheck.Test.make ~name:"Domain_pool.map re-raises the lowest-index failure" ~count:50
+    QCheck.(triple (int_range 1 6) (int_range 1 40) (small_list small_nat))
+    (fun (jobs, n, bad) ->
+      let bad = List.map (fun b -> b mod n) bad in
+      let xs = List.init n Fun.id in
+      let f x = if List.mem x bad then failwith (Printf.sprintf "task %d" x) else x in
+      let rec seq_map f = function
+        | [] -> []
+        | x :: tl ->
+          let y = f x in
+          y :: seq_map f tl
+      in
+      let outcome g = try Ok (g ()) with Failure m -> Error m in
+      outcome (fun () -> Noc_util.Domain_pool.map ~jobs f xs)
+      = outcome (fun () -> seq_map f xs))
+
+(* Tasks that submit batches of their own (a sweep point running its
+   mesh-size speculation) must degrade to inline runs on whichever
+   domain executes them — including the submitter, which helps drain
+   its own batch.  This deadlocked when only pool workers carried the
+   inline flag. *)
+let prop_domain_pool_nested_submission =
+  QCheck.Test.make ~name:"nested Domain_pool submissions run inline" ~count:10
+    QCheck.(pair (int_range 2 4) (int_range 1 12))
+    (fun (jobs, n) ->
+      let saved = Noc_util.Domain_pool.default_jobs () in
+      Noc_util.Domain_pool.set_default_jobs jobs;
+      Fun.protect ~finally:(fun () -> Noc_util.Domain_pool.set_default_jobs saved)
+        (fun () ->
+          Noc_util.Domain_pool.map
+            (fun i -> Noc_util.Domain_pool.map (fun j -> i * j) (List.init 5 Fun.id))
+            (List.init n Fun.id)
+          = List.init n (fun i -> List.init 5 (fun j -> i * j))))
+
+(* Warm-started exploration must agree with the cold full search on
+   what is feasible and how many switches each point needs — the
+   warm-start contract behind the --cold escape hatch. *)
+let explore_ucs seed =
+  let params = { Syn.spread_params with cores = 8; flows_lo = 4; flows_hi = 10 } in
+  Syn.generate ~seed ~params ~use_cases:2
+
+let small_axes =
+  {
+    Noc_power.Design_space.frequencies = [ 250.0; 500.0; 1000.0 ];
+    slot_counts = [ 16; 32 ];
+    topologies = [ Mesh.Mesh ];
+  }
+
+let prop_explore_warm_matches_cold =
+  QCheck.Test.make ~name:"explore warm = cold (feasibility and switch counts)" ~count:5
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let ucs = explore_ucs seed in
+      let groups = List.mapi (fun i _ -> [ i ]) ucs in
+      let run warm =
+        Noc_power.Design_space.explore ~axes:small_axes ~warm ~config:Config.default ~groups ucs
+      in
+      let key p =
+        Noc_power.Design_space.
+          (p.freq_mhz, p.slots, p.topology, p.switches)
+      in
+      List.map key (run true) = List.map key (run false))
+
+(* The Pareto front is a property of the point set, not of its order:
+   permuting the input must yield the same front (as a set) and
+   pareto_flags must mark the same points. *)
+let prop_pareto_invariant_under_permutation =
+  QCheck.Test.make ~name:"pareto front invariant under permutation" ~count:10
+    QCheck.(pair (int_bound 10_000) (int_bound 10_000))
+    (fun (seed, shuffle_seed) ->
+      let ucs = explore_ucs seed in
+      let groups = List.mapi (fun i _ -> [ i ]) ucs in
+      let points =
+        Noc_power.Design_space.explore ~axes:small_axes ~config:Config.default ~groups ucs
+      in
+      let shuffled =
+        let st = Random.State.make [| shuffle_seed |] in
+        let a = Array.of_list points in
+        for i = Array.length a - 1 downto 1 do
+          let j = Random.State.int st (i + 1) in
+          let t = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- t
+        done;
+        Array.to_list a
+      in
+      let key p =
+        Noc_power.Design_space.(p.freq_mhz, p.slots, p.topology, p.switches)
+      in
+      let front ps = List.sort compare (List.map key (Noc_power.Design_space.pareto ps)) in
+      let flagged ps =
+        let flags = Noc_power.Design_space.pareto_flags ps in
+        List.sort compare
+          (List.filteri (fun i _ -> flags.(i)) ps |> List.map key)
+      in
+      front points = front shuffled && flagged points = flagged shuffled
+      && front points = flagged points)
+
 (* Tdma.free_starts (rotate-and-AND over masks) vs brute force over
    start_is_free, on random partially filled paths. *)
 let prop_free_starts_match_brute_force =
@@ -238,6 +349,11 @@ let () =
             prop_buffer_totals_cover_every_route;
             prop_latency_bounds_respect_constraints;
             prop_bias_variants_verify;
+            prop_domain_pool_matches_sequential;
+            prop_domain_pool_raises_like_sequential;
+            prop_domain_pool_nested_submission;
+            prop_explore_warm_matches_cold;
+            prop_pareto_invariant_under_permutation;
             prop_slot_table_mask_agrees;
             prop_free_starts_match_brute_force;
           ] );
