@@ -98,6 +98,29 @@ let bench_sweep_pareto_grid =
            (Noc_power.Design_space.explore ~axes ~warm:(not cold) ~config:Config.default ~groups
               ucs)))
 
+(* The static-analyzer pruning measurement: a D2 frequency-scaling
+   sweep whose low-frequency points are provably infeasible.  With
+   pruning the feasibility certificate refutes those growth searches
+   outright; without it the engine attempts every mesh size of each
+   doomed point.  The sweep points are identical either way (see the
+   pruning tests in test_analysis.ml) — only the wall clock moves. *)
+let lint_sweep ~prune () =
+  let ucs = SD.d2 () in
+  let groups = List.mapi (fun i _ -> [ i ]) ucs in
+  let config = { Config.default with Config.nis_per_switch = 4 } in
+  let axes =
+    { Noc_power.Design_space.frequencies = [ 50.0; 250.0; 500.0 ];
+      slot_counts = [ 16; 32 ];
+      topologies = [ Noc_arch.Mesh.Mesh ] }
+  in
+  ignore (Noc_power.Design_space.explore ~axes ~warm:(not cold) ~prune ~config ~groups ucs)
+
+let bench_sweep_lint_pruned =
+  Test.make ~name:"sweep:lint-pruned" (Staged.stage (lint_sweep ~prune:true))
+
+let bench_sweep_lint_noprune =
+  Test.make ~name:"sweep:lint-noprune" (Staged.stage (lint_sweep ~prune:false))
+
 let bench_sweep_min_freq =
   let ucs = SD.d1 () in
   let design = (must_map ucs).DF.mapping in
@@ -127,7 +150,8 @@ let suite =
   Test.make_grouped ~name:"nocmap"
     [
       bench_fig6a; bench_fig6b; bench_fig6c; bench_s62; bench_fig7a; bench_fig7b; bench_fig7c;
-      bench_sweep_pareto_grid; bench_sweep_min_freq; bench_substrate;
+      bench_sweep_pareto_grid; bench_sweep_lint_pruned; bench_sweep_lint_noprune;
+      bench_sweep_min_freq; bench_substrate;
     ]
 
 (* Per-benchmark mean ns, sorted by name — the stable shape behind both

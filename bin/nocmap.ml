@@ -95,6 +95,13 @@ let wc_arg =
   let doc = "Design with the worst-case baseline method [25] instead of the multi-use-case method." in
   Arg.(value & flag & info [ "wc" ] ~doc)
 
+let no_prune_arg =
+  let doc =
+    "Disable static feasibility pruning: attempt every mesh size of the growth sequence even \
+     when a certificate proves it infeasible.  The designed NoC is identical either way."
+  in
+  Arg.(value & flag & info [ "no-prune" ] ~doc)
+
 let systemc_arg =
   let doc = "Write the generated SystemC model to $(docv)." in
   Arg.(value & opt (some string) None & info [ "systemc" ] ~docv:"FILE" ~doc)
@@ -165,7 +172,8 @@ let load_spec ~bench ~use_cases ~seed ~spec_file =
     | Ok ucs -> Ok (DF.spec_of_use_cases ~name:bench ucs)
     | Error msg -> Error msg)
 
-let run_map bench use_cases seed freq slots nis xy refine sequential wc jobs vhdl systemc spec_file =
+let run_map bench use_cases seed freq slots nis xy refine sequential wc no_prune jobs vhdl
+    systemc spec_file =
   apply_jobs jobs;
   match load_spec ~bench ~use_cases ~seed ~spec_file with
   | Error msg -> `Error (false, msg)
@@ -182,7 +190,7 @@ let run_map bench use_cases seed freq slots nis xy refine sequential wc jobs vhd
         print_design (spec.DF.name ^ " (WC method)") m true;
         both (emit_vhdl vhdl spec.DF.name m) m
     else
-      match DF.run ~config ~parallel ~refine spec with
+      match DF.run ~config ~parallel ~prune:(not no_prune) ~refine spec with
       | Error msg -> `Error (false, msg)
       | Ok d ->
         print_design spec.DF.name d.DF.mapping (DF.verified d);
@@ -195,8 +203,8 @@ let map_cmd =
     Term.(
       ret
         (const run_map $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
-        $ xy_arg $ refine_arg $ sequential_arg $ wc_arg $ jobs_arg $ vhdl_arg $ systemc_arg
-        $ spec_arg))
+        $ xy_arg $ refine_arg $ sequential_arg $ wc_arg $ no_prune_arg $ jobs_arg $ vhdl_arg
+        $ systemc_arg $ spec_arg))
 
 (* --- experiments -------------------------------------------------------------- *)
 
@@ -341,7 +349,7 @@ let cold_arg =
   in
   Arg.(value & flag & info [ "cold" ] ~doc)
 
-let run_explore bench use_cases seed torus cold jobs =
+let run_explore bench use_cases seed torus cold no_prune jobs =
   apply_jobs jobs;
   match load_benchmark ~name:bench ~use_cases ~seed with
   | Error msg -> `Error (false, msg)
@@ -354,7 +362,8 @@ let run_explore bench use_cases seed torus cold jobs =
       else base
     in
     let points =
-      Noc_power.Design_space.explore ~axes ~warm:(not cold) ~config:Config.default ~groups ucs
+      Noc_power.Design_space.explore ~axes ~warm:(not cold) ~prune:(not no_prune)
+        ~config:Config.default ~groups ucs
     in
     Noc_power.Design_space.print points;
     `Ok ()
@@ -366,7 +375,7 @@ let explore_cmd =
     Term.(
       ret
         (const run_explore $ bench_arg $ use_cases_arg $ seed_arg $ torus_axis_arg $ cold_arg
-       $ jobs_arg))
+       $ no_prune_arg $ jobs_arg))
 
 (* --- report ------------------------------------------------------------------------ *)
 
@@ -390,9 +399,70 @@ let report_cmd =
         (const run_report $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
        $ xy_arg $ spec_arg))
 
+(* --- lint ------------------------------------------------------------------------ *)
+
+let lint_json_arg =
+  let doc = "Emit the diagnostics and the feasibility certificate as JSON." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let deep_arg =
+  let doc = "Also run the full design flow and the post-mapping design passes." in
+  Arg.(value & flag & info [ "deep" ] ~doc)
+
+let run_lint bench use_cases seed freq slots nis xy json deep jobs spec_file =
+  apply_jobs jobs;
+  let config = make_config ~freq ~slots ~nis ~xy in
+  let doc_res =
+    match spec_file with
+    | Some file -> (
+      match Noc_core.Spec_parser.doc_of_file file with
+      | Ok doc -> Ok doc
+      | Error e -> Error (Format.asprintf "%s: %a" file Noc_core.Spec_parser.pp_error e))
+    | None -> (
+      match load_benchmark ~name:bench ~use_cases ~seed with
+      | Ok ucs ->
+        let spec = DF.spec_of_use_cases ~name:bench ucs in
+        Ok
+          (Noc_core.Spec_parser.parse_doc ~name:spec.DF.name
+             (Noc_core.Spec_parser.to_text spec))
+      | Error msg -> Error msg)
+  in
+  match doc_res with
+  | Error msg -> `Error (false, msg)
+  | Ok doc ->
+    let report = Noc_analysis.Analyzer.analyze_doc ~config ~deep doc in
+    if json then print_endline (Noc_analysis.Analyzer.render_json report)
+    else print_string (Noc_analysis.Analyzer.render_text report);
+    (match Noc_analysis.Analyzer.exit_code report with 0 -> `Ok () | n -> exit n)
+
+let lint_cmd =
+  let doc =
+    "Statically analyze a spec or benchmark: well-formedness passes, feasibility certificates, \
+     and (with $(b,--deep)) the post-mapping design passes.  Exits 2 on errors, 1 on warnings, \
+     0 when clean."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      ret
+        (const run_lint $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
+       $ xy_arg $ lint_json_arg $ deep_arg $ jobs_arg $ spec_arg))
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let () =
   let doc = "multi-use-case NoC mapping (Murali et al., DATE 2006)" in
   let info = Cmd.info "nocmap" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ map_cmd; experiments_cmd; generate_cmd; simulate_cmd; export_cmd; explore_cmd; report_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            map_cmd;
+            experiments_cmd;
+            generate_cmd;
+            simulate_cmd;
+            export_cmd;
+            explore_cmd;
+            report_cmd;
+            lint_cmd;
+          ]))

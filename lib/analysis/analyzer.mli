@@ -1,0 +1,35 @@
+(** The pass manager behind [nocmap lint].
+
+    Runs the spec well-formedness passes ({!Spec_lint.check}), the
+    feasibility passes ({!Spec_lint.feasibility}) and — in deep mode —
+    the post-mapping design passes ({!Design_lint.check}) over one
+    document, and renders the combined findings as text or JSON. *)
+
+type report = {
+  diagnostics : Diagnostic.t list;
+      (** located diagnostics in source order, design passes last *)
+  certificate : Noc_core.Feasibility.t option;
+      (** present whenever the feasibility passes could run *)
+}
+
+val analyze_doc :
+  ?config:Noc_arch.Noc_config.t -> ?deep:bool -> Noc_core.Spec_parser.doc -> report
+(** Analyze a located document.  [deep] (default [false]) additionally
+    runs the full design flow and the post-mapping passes on the
+    result; a mapping failure surfaces as a [mapping] error. *)
+
+val analyze_spec :
+  ?config:Noc_arch.Noc_config.t -> ?deep:bool -> Noc_core.Design_flow.spec -> report
+(** Analyze a programmatic spec through the same pipeline (rendered
+    with {!Noc_core.Spec_parser.to_text}, so lines refer to the
+    rendered form). *)
+
+val exit_code : report -> int
+(** 2 on any error, 1 on warnings only, 0 otherwise. *)
+
+val render_text : report -> string
+(** One [pp]'d line per diagnostic plus a severity tally. *)
+
+val render_json : report -> string
+(** [{"diagnostics": [...], "certificate": {...}|null, "exit_code": n}]
+    (validates under {!Noc_export.Json.validate}). *)

@@ -1,0 +1,58 @@
+module Mapping = Noc_core.Mapping
+module Verify = Noc_core.Verify
+module Resources = Noc_core.Resources
+module Route = Noc_arch.Route
+module Mesh = Noc_arch.Mesh
+module D = Diagnostic
+
+let check (m : Mapping.t) use_cases =
+  let report = Verify.verify m use_cases in
+  let verify_diags =
+    List.map
+      (fun (v : Verify.violation) ->
+        D.vf ~pass:("verify-" ^ v.Verify.kind) Error "use-case %d, flow %d -> %d: %s"
+          v.Verify.use_case v.Verify.src_core v.Verify.dst_core v.Verify.detail)
+      report.Verify.violations
+  in
+  let n_switch = Mesh.switch_count m.Mapping.mesh in
+  let range = ref [] in
+  Array.iteri
+    (fun core s ->
+      if s < 0 || s >= n_switch then
+        range :=
+          D.vf ~pass:"placement-range" Error "core %d sits on switch %d, outside 0..%d" core
+            s (n_switch - 1)
+          :: !range)
+    m.Mapping.placement;
+  (* A best-effort route across a saturated link delivers nothing in
+     the worst case — legal (BE has no contract) but worth surfacing. *)
+  let starved =
+    List.filter_map
+      (fun (r : Route.t) ->
+        if r.Route.service = Route.Be && r.Route.links <> [] then begin
+          let st = m.Mapping.states.(r.Route.use_case) in
+          if List.exists (fun l -> Resources.free_slots st l = 0) r.Route.links then
+            Some
+              (D.vf ~pass:"be-starvation" Warning
+                 "use-case %d: best-effort flow %d -> %d crosses a fully reserved link \
+                  (zero worst-case bandwidth)"
+                 r.Route.use_case r.Route.src_core r.Route.dst_core)
+          else None
+        end
+        else None)
+      m.Mapping.routes
+  in
+  let idle = n_switch - Mapping.switches_in_use m in
+  let idle_diag =
+    if idle > 0 then
+      [
+        D.vf ~pass:"unused-switches" Info "%d of %d switches host no core and carry no route"
+          idle n_switch;
+      ]
+    else []
+  in
+  let summary =
+    D.vf ~pass:"verify" Info "%d structural checks, %d violations" report.Verify.checks
+      (List.length report.Verify.violations)
+  in
+  verify_diags @ List.rev !range @ starved @ idle_diag @ [ summary ]

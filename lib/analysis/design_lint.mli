@@ -1,0 +1,9 @@
+(** Post-mapping design passes.
+
+    Subsumes {!Noc_core.Verify}'s structural checks — every violation
+    becomes an error diagnostic under a [verify-<kind>] pass id — and
+    extends them: [placement-range] (error), [be-starvation] (warning:
+    a best-effort route crossing a fully reserved link),
+    [unused-switches] (info) and a [verify] info summary. *)
+
+val check : Noc_core.Mapping.t -> Noc_traffic.Use_case.t list -> Diagnostic.t list

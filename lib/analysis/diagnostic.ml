@@ -1,0 +1,59 @@
+type severity =
+  | Info
+  | Warning
+  | Error
+
+type t = {
+  pass : string;
+  severity : severity;
+  line : int option;
+  message : string;
+}
+
+let v ?line ~pass severity message = { pass; severity; line; message }
+
+let vf ?line ~pass severity fmt =
+  Printf.ksprintf (fun message -> v ?line ~pass severity message) fmt
+
+let rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let severity_name = function Info -> "info" | Warning -> "warning" | Error -> "error"
+
+let max_severity diags =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | Some s when rank s >= rank d.severity -> acc
+      | _ -> Some d.severity)
+    None diags
+
+let exit_code diags =
+  match max_severity diags with
+  | Some Error -> 2
+  | Some Warning -> 1
+  | Some Info | None -> 0
+
+(* Source order first (unlocated diagnostics last), then most severe
+   first, then stable by pass id and text. *)
+let compare a b =
+  let line = function None -> max_int | Some l -> l in
+  match Stdlib.compare (line a.line) (line b.line) with
+  | 0 -> (
+    match Stdlib.compare (rank b.severity) (rank a.severity) with
+    | 0 -> Stdlib.compare (a.pass, a.message) (b.pass, b.message)
+    | c -> c)
+  | c -> c
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]%s: %s" (severity_name d.severity) d.pass
+    (match d.line with Some l -> Printf.sprintf " line %d" l | None -> "")
+    d.message
+
+let to_json d =
+  Noc_export.Json.Obj
+    [
+      ("severity", Noc_export.Json.String (severity_name d.severity));
+      ("pass", Noc_export.Json.String d.pass);
+      ("line", match d.line with Some l -> Noc_export.Json.Int l | None -> Noc_export.Json.Null);
+      ("message", Noc_export.Json.String d.message);
+    ]

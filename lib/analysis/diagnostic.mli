@@ -1,0 +1,42 @@
+(** Structured findings of the static analyzer.
+
+    Every pass reports through this one type so text and JSON renderers
+    — and the [nocmap lint] exit code — treat spec well-formedness,
+    feasibility certificates and post-mapping design checks uniformly. *)
+
+type severity =
+  | Info     (** a fact worth surfacing (certified bounds, summaries) *)
+  | Warning  (** suspicious but mappable (redundant or dead input) *)
+  | Error    (** the design cannot be built as written *)
+
+type t = {
+  pass : string;          (** stable kebab-case pass id, e.g. ["dangling-ref"] *)
+  severity : severity;
+  line : int option;      (** 1-based spec source line, when known *)
+  message : string;
+}
+
+val v : ?line:int -> pass:string -> severity -> string -> t
+
+val vf :
+  ?line:int -> pass:string -> severity -> ('a, unit, string, t) format4 -> 'a
+(** [v] with a format string. *)
+
+val rank : severity -> int
+(** [Info] 0, [Warning] 1, [Error] 2. *)
+
+val severity_name : severity -> string
+
+val max_severity : t list -> severity option
+
+val exit_code : t list -> int
+(** Process exit code of a lint run: 2 on any error, 1 on warnings
+    only, 0 otherwise. *)
+
+val compare : t -> t -> int
+(** Source order (unlocated last), then most severe first. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["error[self-flow] line 4: ..."]. *)
+
+val to_json : t -> Noc_export.Json.t

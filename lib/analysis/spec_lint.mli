@@ -1,0 +1,44 @@
+(** Pre-mapping passes: spec well-formedness and static feasibility.
+
+    {!check} walks a located document ({!Noc_core.Spec_parser.doc})
+    leniently: every problem becomes a diagnostic instead of aborting,
+    and a best-effort spec is still assembled from the valid
+    declarations so the feasibility passes can run on a broken file.
+    A spec that the strict parser accepts, maps and verifies produces
+    no error-severity diagnostics (the lint-cleanliness property test).
+
+    Well-formedness passes: [syntax], [cores], [missing-cores],
+    [no-use-cases], [duplicate-use-case], [orphan-flow], [self-flow],
+    [zero-bandwidth], [flow-range], [nonpositive-latency],
+    [be-latency], [duplicate-flow], [unreachable-use-case],
+    [parallel-arity], [dangling-ref], [forward-ref], [duplicate-ref],
+    [self-smooth], [redundant-smooth].
+
+    Feasibility passes ({!feasibility}): [infeasible-flow] (a flow no
+    mesh of any size can carry, with its declaring line),
+    [infeasible-design] (certificate rejects every size up to the
+    growth cap), [certified-start] (info: where the pruned growth
+    search begins), plus [config]/[compound] for inputs the certifier
+    cannot accept. *)
+
+type analysis = {
+  diagnostics : Diagnostic.t list;  (** in source order *)
+  spec : Noc_core.Design_flow.spec option;
+      (** best-effort resolution; [None] when cores or use-cases are
+          missing entirely *)
+}
+
+val check : Noc_core.Spec_parser.doc -> analysis
+
+val feasibility :
+  ?config:Noc_arch.Noc_config.t ->
+  doc:Noc_core.Spec_parser.doc ->
+  Noc_core.Design_flow.spec ->
+  Diagnostic.t list * Noc_core.Feasibility.t option
+(** Certify the spec (after compound generation and grouping, exactly
+    as the mapper sees it) and render the certificate's verdicts as
+    diagnostics; flow-level impossibilities point at the declaring
+    spec line. *)
+
+val flow_line : Noc_core.Spec_parser.doc -> src:int -> dst:int -> int option
+(** First source line declaring a flow on this ordered pair. *)

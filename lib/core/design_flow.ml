@@ -20,18 +20,22 @@ type t = {
 
 let spec_of_use_cases ~name use_cases = { name; use_cases; parallel = []; smooth = [] }
 
-let run ?config ?parallel ?(refine = false) spec =
+(* Phases 1 + 2 (parallel-mode generation, switching-aware grouping),
+   exposed so static analysis can certify the exact use-case set and
+   groups the mapper will see. *)
+let expand spec =
+  let all, compounds = Compound.generate spec.use_cases ~parallel:spec.parallel in
+  let switching = Switching.create ~use_cases:(List.length all) ~smooth:spec.smooth in
+  List.iter (Switching.add_compound switching) compounds;
+  (all, compounds, Switching.groups switching)
+
+let run ?config ?parallel ?prune ?(refine = false) spec =
   match spec.use_cases with
   | [] -> Error "design flow: no use-cases"
   | _ -> (
-    (* Phase 1: parallel-mode generation. *)
-    let all, compounds = Compound.generate spec.use_cases ~parallel:spec.parallel in
-    (* Phase 2: switching graph + Algorithm 1 grouping. *)
-    let switching = Switching.create ~use_cases:(List.length all) ~smooth:spec.smooth in
-    List.iter (Switching.add_compound switching) compounds;
-    let groups = Switching.groups switching in
+    let all, compounds, groups = expand spec in
     (* Phase 3: unified mapping and configuration. *)
-    match Mapping.map_design ?config ?parallel ~groups all with
+    match Mapping.map_design ?config ?parallel ?prune ~groups all with
     | Error failure -> Error (Format.asprintf "%s: %a" spec.name Mapping.pp_failure failure)
     | Ok mapping ->
       let refinement = if refine then Some (Refine.anneal mapping all) else None in

@@ -29,15 +29,24 @@ type t = {
   refinement : Refine.outcome option;  (** present when refinement ran *)
 }
 
+val expand : spec -> Noc_traffic.Use_case.t list * Compound.t list * int list list
+(** Phases 1 + 2 only: the full use-case list (base + generated
+    compounds), the compounds, and the switching-aware use-case groups
+    — exactly what phase 3 maps.  Exposed for the static analyzer,
+    which certifies feasibility of the same inputs. *)
+
 val run :
   ?config:Noc_arch.Noc_config.t ->
   ?parallel:bool ->
+  ?prune:bool ->
   ?refine:bool ->
   spec ->
   (t, string) result
 (** Run all phases.  [parallel] (default true) lets the phase-3 mesh
     growth search evaluate sizes speculatively on separate domains (see
-    {!Mapping.map_design}; the result is unchanged).  [refine] (default
+    {!Mapping.map_design}; the result is unchanged).  [prune] (default
+    true) skips mesh sizes whose {!Feasibility} certificate proves them
+    infeasible — same result, fewer attempts.  [refine] (default
     false) additionally runs the simulated-annealing placement
     refinement.  Fails with a readable message when no mesh up to the
     growth cap maps the design. *)

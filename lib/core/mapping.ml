@@ -509,9 +509,29 @@ let map_attempt ?(engine = Indexed) ~config ~mesh ~groups use_cases =
    size) exactly. *)
 let speculation_window = 4
 
-let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true) ~groups
-    use_cases =
+let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
+    ?(prune = true) ~groups use_cases =
+  validate_inputs ~groups use_cases;
+  (match Config.validate config with Ok () -> () | Error m -> invalid_arg m);
   let sizes = Mesh.growth_sequence ~max_dim:config.Config.max_mesh_dim in
+  (* Certificate pruning: sizes a static bound proves infeasible are
+     recorded as failed attempts without running placement or routing.
+     Every pruned size would have failed (Feasibility's bounds are
+     sound), so the first success — and hence the result — is exactly
+     the unpruned one. *)
+  let pruned_rev, sizes =
+    if not prune then ([], sizes)
+    else begin
+      let cert = Feasibility.certify ~config ~groups use_cases in
+      List.fold_left
+        (fun (pruned, kept) (w, h) ->
+          match Feasibility.explain cert ~width:w ~height:h with
+          | Some why -> ((w, h, "statically infeasible: " ^ why) :: pruned, kept)
+          | None -> (pruned, (w, h) :: kept))
+        ([], []) sizes
+      |> fun (pruned, kept) -> (pruned, List.rev kept)
+    end
+  in
   let attempt (w, h) =
     let mesh = Mesh.create_kind ~kind:config.Config.topology ~width:w ~height:h in
     match map_attempt ~engine ~config ~mesh ~groups use_cases with
@@ -542,7 +562,8 @@ let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
       scan attempts results
   in
   let window = min (Noc_util.Domain_pool.effective_jobs ()) speculation_window in
-  if (not parallel) || window <= 1 then sequential [] sizes else waves window [] sizes
+  if (not parallel) || window <= 1 then sequential pruned_rev sizes
+  else waves window pruned_rev sizes
 
 let pp_failure ppf { attempts } =
   Format.fprintf ppf "@[<v>mapping failed at every size:@ ";

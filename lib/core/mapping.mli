@@ -47,6 +47,7 @@ val map_design :
   ?config:Noc_arch.Noc_config.t ->
   ?engine:engine ->
   ?parallel:bool ->
+  ?prune:bool ->
   groups:int list list ->
   Noc_traffic.Use_case.t list ->
   (t, failure) result
@@ -61,7 +62,13 @@ val map_design :
     sequential search because each size attempt is deterministic and
     independent.  Pass [false] (or run with
     [Noc_util.Domain_pool.set_default_jobs 1]) for a strictly
-    sequential search. *)
+    sequential search.
+
+    [prune] (default [true]) skips sizes a {!Feasibility} certificate
+    proves infeasible; they are recorded in the failure's [attempts]
+    as ["statically infeasible: ..."] without running placement or
+    routing.  Because the certificate's bounds are sound the result is
+    identical either way ([false] is the [--no-prune] escape hatch). *)
 
 type placement_bias =
   | Compact  (** prefer co-locating near the traffic (default) *)

@@ -22,7 +22,74 @@ let strip_comment line =
   | Some i -> String.sub line 0 i
   | None -> line
 
-(* Mutable parse state: the spec is assembled use-case by use-case. *)
+(* Parsing is split in two: [parse_doc] keeps every declaration with
+   its 1-based source line and never aborts (unparseable lines become
+   [Bad] events), so the lint passes can diagnose a broken spec as a
+   whole; [resolve] replays the events in order with the original
+   semantic checks, so [parse] still reports the first error exactly
+   where the one-pass parser did. *)
+
+type event =
+  | Name of string
+  | Cores of int
+  | Use_case_decl of string
+  | Flow_decl of Flow.t
+  | Parallel of string list
+  | Smooth of string * string
+  | Bad of string
+
+type doc = {
+  doc_name : string;  (** fallback design name (e.g. the file name) *)
+  events : (int * event) list;
+}
+
+let syntax line fmt = Printf.ksprintf (fun message -> (line, Bad message)) fmt
+
+let int_of ~line what s k =
+  match int_of_string_opt s with
+  | Some v -> k v
+  | None -> syntax line "%s: expected an integer, got '%s'" what s
+
+let parse_flow ~line rest =
+  match rest with
+  | src :: "->" :: dst :: "bw" :: bw :: opts ->
+    int_of ~line "flow source" src (fun src ->
+        int_of ~line "flow destination" dst (fun dst ->
+            match float_of_string_opt bw with
+            | None -> syntax line "bandwidth: expected a number, got '%s'" bw
+            | Some bw ->
+              let rec options latency_ns service = function
+                | [] -> (line, Flow_decl (Flow.v ?latency_ns ~service ~src ~dst bw))
+                | "lat" :: v :: rest -> (
+                  match float_of_string_opt v with
+                  | Some v -> options (Some v) service rest
+                  | None -> syntax line "latency: expected a number, got '%s'" v)
+                | "be" :: rest -> options latency_ns Flow.Best_effort rest
+                | tok :: _ -> syntax line "unknown flow option '%s'" tok
+              in
+              options None Flow.Guaranteed opts))
+  | _ -> syntax line "expected: flow SRC -> DST bw MBPS [lat NS] [be]"
+
+let parse_doc ~name text =
+  let events = ref [] in
+  let push ev = events := ev :: !events in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      match tokens (strip_comment raw) with
+      | [] -> ()
+      | "name" :: rest when rest <> [] -> push (line, Name (String.concat " " rest))
+      | [ "cores"; n ] -> push (int_of ~line "cores" n (fun v -> (line, Cores v)))
+      | [ "use-case"; name ] -> push (line, Use_case_decl name)
+      | "flow" :: rest -> push (parse_flow ~line rest)
+      | "parallel" :: names -> push (line, Parallel names)
+      | [ "smooth"; a; b ] -> push (line, Smooth (a, b))
+      | tok :: _ -> push (syntax line "unknown directive '%s'" tok))
+    (String.split_on_char '\n' text);
+  { doc_name = name; events = List.rev !events }
+
+(* Mutable resolution state: the spec is assembled use-case by
+   use-case, exactly as the original one-pass parser did. *)
 type state = {
   mutable name : string;
   mutable cores : int option;
@@ -33,46 +100,6 @@ type state = {
   mutable current : string option;
 }
 
-let int_of ~line what s =
-  match int_of_string_opt s with
-  | Some v -> v
-  | None -> fail line "%s: expected an integer, got '%s'" what s
-
-let float_of ~line what s =
-  match float_of_string_opt s with
-  | Some v -> v
-  | None -> fail line "%s: expected a number, got '%s'" what s
-
-let parse_flow ~line st rest =
-  let uc =
-    match st.current with
-    | Some u -> u
-    | None -> fail line "flow outside any use-case"
-  in
-  match rest with
-  | src :: "->" :: dst :: "bw" :: bw :: opts ->
-    let src = int_of ~line "flow source" src in
-    let dst = int_of ~line "flow destination" dst in
-    let bw = float_of ~line "bandwidth" bw in
-    let rec options latency_ns service = function
-      | [] -> (latency_ns, service)
-      | "lat" :: v :: rest ->
-        options (Some (float_of ~line "latency" v)) service rest
-      | "be" :: rest -> options latency_ns Flow.Best_effort rest
-      | tok :: _ -> fail line "unknown flow option '%s'" tok
-    in
-    let latency_ns, service = options None Flow.Guaranteed opts in
-    let flow = Flow.v ?latency_ns ~service ~src ~dst bw in
-    (match st.cores with
-    | Some cores -> (
-      match Flow.validate ~cores flow with
-      | Ok () -> ()
-      | Error msg -> fail line "%s" msg)
-    | None -> fail line "declare 'cores N' before flows");
-    let cur = Option.value (Hashtbl.find_opt st.flows uc) ~default:[] in
-    Hashtbl.replace st.flows uc (flow :: cur)
-  | _ -> fail line "expected: flow SRC -> DST bw MBPS [lat NS] [be]"
-
 let uc_id ~line st name =
   let order = List.rev st.order in
   let rec find i = function
@@ -82,35 +109,46 @@ let uc_id ~line st name =
   in
   find 0 order
 
-let parse_line st line_no raw =
-  match tokens (strip_comment raw) with
-  | [] -> ()
-  | "name" :: rest when rest <> [] -> st.name <- String.concat " " rest
-  | [ "cores"; n ] ->
-    let v = int_of ~line:line_no "cores" n in
-    if v < 2 then fail line_no "a SoC needs at least two cores";
-    if st.cores <> None then fail line_no "duplicate 'cores' directive";
+let resolve_event st (line, ev) =
+  match ev with
+  | Bad message -> raise (Parse { line; message })
+  | Name n -> st.name <- n
+  | Cores v ->
+    if v < 2 then fail line "a SoC needs at least two cores";
+    if st.cores <> None then fail line "duplicate 'cores' directive";
     st.cores <- Some v
-  | [ "use-case"; name ] ->
-    if List.mem name st.order then fail line_no "duplicate use-case '%s'" name;
+  | Use_case_decl name ->
+    if List.mem name st.order then fail line "duplicate use-case '%s'" name;
     st.order <- name :: st.order;
     Hashtbl.replace st.flows name [];
     st.current <- Some name
-  | "flow" :: rest -> parse_flow ~line:line_no st rest
-  | "parallel" :: names ->
-    if List.length names < 2 then fail line_no "'parallel' needs at least two use-cases";
-    List.iter (fun n -> ignore (uc_id ~line:line_no st n)) names;
+  | Flow_decl flow ->
+    let uc =
+      match st.current with
+      | Some u -> u
+      | None -> fail line "flow outside any use-case"
+    in
+    (match st.cores with
+    | Some cores -> (
+      match Flow.validate ~cores flow with
+      | Ok () -> ()
+      | Error msg -> fail line "%s" msg)
+    | None -> fail line "declare 'cores N' before flows");
+    let cur = Option.value (Hashtbl.find_opt st.flows uc) ~default:[] in
+    Hashtbl.replace st.flows uc (flow :: cur)
+  | Parallel names ->
+    if List.length names < 2 then fail line "'parallel' needs at least two use-cases";
+    List.iter (fun n -> ignore (uc_id ~line st n)) names;
     st.parallel <- names :: st.parallel
-  | [ "smooth"; a; b ] ->
-    ignore (uc_id ~line:line_no st a);
-    ignore (uc_id ~line:line_no st b);
+  | Smooth (a, b) ->
+    ignore (uc_id ~line st a);
+    ignore (uc_id ~line st b);
     st.smooth <- (a, b) :: st.smooth
-  | tok :: _ -> fail line_no "unknown directive '%s'" tok
 
-let parse ~name text =
+let resolve doc =
   let st =
     {
-      name;
+      name = doc.doc_name;
       cores = None;
       order = [];
       flows = Hashtbl.create 8;
@@ -120,7 +158,7 @@ let parse ~name text =
     }
   in
   try
-    List.iteri (fun i raw -> parse_line st (i + 1) raw) (String.split_on_char '\n' text);
+    List.iter (resolve_event st) doc.events;
     let cores =
       match st.cores with Some c -> c | None -> fail 0 "missing 'cores' directive"
     in
@@ -145,11 +183,20 @@ let parse ~name text =
   | Parse e -> Error e
   | Invalid_argument msg -> Error { line = 0; message = msg }
 
+let parse ~name text = resolve (parse_doc ~name text)
+
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | text ->
     let name = Filename.remove_extension (Filename.basename path) in
     parse ~name text
+  | exception Sys_error msg -> Error { line = 0; message = msg }
+
+let doc_of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text ->
+    let name = Filename.remove_extension (Filename.basename path) in
+    Ok (parse_doc ~name text)
   | exception Sys_error msg -> Error { line = 0; message = msg }
 
 (* Shortest decimal form that parses back to the exact float: specs

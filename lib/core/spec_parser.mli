@@ -28,13 +28,46 @@ type error = {
   message : string;
 }
 
+(** One parsed declaration.  [Bad] keeps the message of a line that
+    failed tokenization or shape checks, so a document with syntax
+    errors can still be analyzed as a whole. *)
+type event =
+  | Name of string
+  | Cores of int
+  | Use_case_decl of string
+  | Flow_decl of Noc_traffic.Flow.t  (** attached to the enclosing use-case *)
+  | Parallel of string list
+  | Smooth of string * string
+  | Bad of string
+
+type doc = {
+  doc_name : string;  (** fallback design name (e.g. the file name) *)
+  events : (int * event) list;
+      (** declarations with their 1-based source lines, in file order *)
+}
+
+val parse_doc : name:string -> string -> doc
+(** Tokenize a spec into located declarations.  Never fails: lines
+    that do not parse become [Bad] events.  Semantic checks (core
+    counts, name resolution, flow validation) happen in {!resolve} —
+    or leniently in the [Noc_analysis] lint passes, which is why the
+    two stages are separate. *)
+
+val resolve : doc -> (Design_flow.spec, error) result
+(** Replay a document's events with the full semantic checks; the
+    first offending declaration (or [Bad] line) aborts with its source
+    line. *)
+
 val parse : name:string -> string -> (Design_flow.spec, error) result
-(** Parse a complete spec document.  [name] is the fallback design
-    name (e.g. the file name). *)
+(** [resolve] of [parse_doc]: parse a complete spec document.  [name]
+    is the fallback design name (e.g. the file name). *)
 
 val parse_file : string -> (Design_flow.spec, error) result
 (** Read and [parse] a file; I/O failures surface as an [error] on
     line 0. *)
+
+val doc_of_file : string -> (doc, error) result
+(** Read and [parse_doc] a file; only I/O failures are errors. *)
 
 val to_text : Design_flow.spec -> string
 (** Render a spec back into the textual format ([parse] of the result

@@ -56,16 +56,26 @@ let infeasible ~freq ~slots ~topology =
    neighbouring points land on the same mesh, skip the whole placement
    search; when the seeded retry fails the point degrades to the exact
    cold behaviour from that size onward. *)
-let solve ~config ~groups ~use_cases ~freq ~slots ~topology seed_opt =
+let solve ~config ~groups ~use_cases ~prune ~freq ~slots ~topology seed_opt =
   let cfg = { config with Config.freq_mhz = freq; slots; topology } in
   let cold () =
-    match Mapping.map_design ~config:cfg ~groups use_cases with
+    match Mapping.map_design ~config:cfg ~prune ~groups use_cases with
     | Ok m -> point_of_mapping ~freq ~slots ~topology ~start:Cold m
     | Error _ -> infeasible ~freq ~slots ~topology
   in
   match seed_opt with
   | None -> cold ()
   | Some seed -> (
+    (* The certificate depends on this point's frequency/slot knobs, so
+       it is issued per point; sizes it rejects would fail their
+       attempt, so skipping them preserves the cold search's result. *)
+    let admits =
+      if not prune then fun _ -> true
+      else begin
+        let cert = Noc_core.Feasibility.certify ~config:cfg ~groups use_cases in
+        fun (w, h) -> Noc_core.Feasibility.admits cert ~width:w ~height:h
+      end
+    in
     let sizes = Mesh.growth_sequence ~max_dim:cfg.Config.max_mesh_dim in
     let smaller = List.filter (fun (w, h) -> w * h < seed.w * seed.h) sizes in
     let attempt (w, h) =
@@ -76,22 +86,31 @@ let solve ~config ~groups ~use_cases ~freq ~slots ~topology seed_opt =
       | [] ->
         (* every smaller size failed: retry the seed's size with the
            neighbour's placement, then cold from the seed size up *)
-        let mesh = Mesh.create_kind ~kind:topology ~width:seed.w ~height:seed.h in
-        (match
-           Mapping.map_with_placement ~config:cfg ~mesh ~groups ~placement:seed.placement
-             use_cases
-         with
+        let seeded () =
+          if not (admits (seed.w, seed.h)) then Error ()
+          else
+            let mesh = Mesh.create_kind ~kind:topology ~width:seed.w ~height:seed.h in
+            match
+              Mapping.map_with_placement ~config:cfg ~mesh ~groups ~placement:seed.placement
+                use_cases
+            with
+            | Ok m -> Ok m
+            | Error _ -> Error ()
+        in
+        (match seeded () with
         | Ok m -> point_of_mapping ~freq ~slots ~topology ~start:Warm m
-        | Error _ ->
+        | Error () ->
           let rest = List.filter (fun (w, h) -> w * h >= seed.w * seed.h) sizes in
           let rec upward = function
             | [] -> infeasible ~freq ~slots ~topology
+            | size :: more when not (admits size) -> upward more
             | size :: more -> (
               match attempt size with
               | Ok m -> point_of_mapping ~freq ~slots ~topology ~start:Cold m
               | Error _ -> upward more)
           in
           upward rest)
+      | size :: more when not (admits size) -> below more
       | size :: more -> (
         match attempt size with
         | Ok m -> point_of_mapping ~freq ~slots ~topology ~start:Cold m
@@ -99,7 +118,8 @@ let solve ~config ~groups ~use_cases ~freq ~slots ~topology seed_opt =
     in
     below smaller)
 
-let explore ?(axes = default_axes) ?jobs ?(warm = true) ~config ~groups use_cases =
+let explore ?(axes = default_axes) ?jobs ?(warm = true) ?(prune = true) ~config ~groups
+    use_cases =
   let topos = Array.of_list axes.topologies in
   let slot_axis = Array.of_list (List.sort compare axes.slot_counts) in
   let freq_axis = Array.of_list (List.sort compare axes.frequencies) in
@@ -141,8 +161,8 @@ let explore ?(axes = default_axes) ?jobs ?(warm = true) ~config ~groups use_case
     let solved =
       Domain_pool.map ?jobs
         (fun ((ti, si), seed) ->
-          solve ~config ~groups ~use_cases ~freq:freq_axis.(fi) ~slots:slot_axis.(si)
-            ~topology:topos.(ti) seed)
+          solve ~config ~groups ~use_cases ~prune ~freq:freq_axis.(fi)
+            ~slots:slot_axis.(si) ~topology:topos.(ti) seed)
         tasks
     in
     List.iter2

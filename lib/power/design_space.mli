@@ -46,6 +46,7 @@ val explore :
   ?axes:axes ->
   ?jobs:int ->
   ?warm:bool ->
+  ?prune:bool ->
   config:Noc_arch.Noc_config.t ->
   groups:int list list ->
   Noc_traffic.Use_case.t list ->
@@ -57,8 +58,11 @@ val explore :
     {!Noc_util.Domain_pool.default_jobs}); [warm] (default [true])
     enables placement-seeded warm starts — [false] is the [--cold]
     escape hatch that forces every point through the full growth
-    search.  Warm and cold agree on the feasibility set and switch
-    counts (pinned by the determinism tests). *)
+    search.  [prune] (default [true]) issues a per-point
+    {!Noc_core.Feasibility} certificate and skips growth sizes it
+    rejects; [false] is the [--no-prune] escape hatch.  Warm/cold and
+    pruned/unpruned all agree on the resulting points (pinned by the
+    determinism tests). *)
 
 val pareto : point list -> point list
 (** Feasible points not dominated in (area, power): a point is dropped

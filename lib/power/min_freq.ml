@@ -34,7 +34,15 @@ let search ?jobs grid feasible =
   in
   chunks (List.sort compare grid)
 
-let for_use_case_on_design ?(grid = default_grid) ?jobs ~design use_case =
+(* A frequency whose certificate rejects the fixed mesh size cannot map
+   there, so the probe can answer [false] without running the mapper.
+   The certificate depends on the frequency (slot durations scale), so
+   it is issued per probe. *)
+let admitted ~cfg ~mesh ~groups use_cases =
+  let cert = Noc_core.Feasibility.certify ~config:cfg ~groups use_cases in
+  Noc_core.Feasibility.admits_mesh cert mesh
+
+let for_use_case_on_design ?(grid = default_grid) ?jobs ?(prune = true) ~design use_case =
   let config = design.Mapping.config in
   let mesh = design.Mapping.mesh in
   let placement = design.Mapping.placement in
@@ -43,15 +51,20 @@ let for_use_case_on_design ?(grid = default_grid) ?jobs ~design use_case =
     f <= config.Config.freq_mhz +. 1e-9
     &&
     let cfg = Config.with_freq config f in
+    ((not prune) || admitted ~cfg ~mesh ~groups:[ [ 0 ] ] [ renamed ])
+    &&
     match Mapping.map_with_placement ~config:cfg ~mesh ~groups:[ [ 0 ] ] ~placement [ renamed ] with
     | Ok _ -> true
     | Error _ -> false
   in
   search ?jobs grid feasible
 
-let for_use_cases_on_mesh ?(grid = default_grid) ?jobs ~config ~mesh ~groups use_cases =
+let for_use_cases_on_mesh ?(grid = default_grid) ?jobs ?(prune = true) ~config ~mesh ~groups
+    use_cases =
   let feasible f =
     let cfg = Config.with_freq config f in
+    ((not prune) || admitted ~cfg ~mesh ~groups use_cases)
+    &&
     match Mapping.map_on_mesh ~config:cfg ~mesh ~groups use_cases with
     | Ok _ -> true
     | Error _ -> false

@@ -23,6 +23,7 @@ val search :
 val for_use_case_on_design :
   ?grid:Noc_util.Units.frequency list ->
   ?jobs:int ->
+  ?prune:bool ->
   design:Noc_core.Mapping.t ->
   Noc_traffic.Use_case.t ->
   Noc_util.Units.frequency option
@@ -31,15 +32,19 @@ val for_use_case_on_design :
     tables may be re-configured, which is exactly what the use-case
     switching window allows).  [None] when even the fastest level
     fails.  Levels above the design frequency are not tried — the
-    result is always a down-scaling. *)
+    result is always a down-scaling.  [prune] (default [true]) lets a
+    {!Noc_core.Feasibility} certificate answer provably infeasible
+    levels without running the mapper; the answer is unchanged. *)
 
 val for_use_cases_on_mesh :
   ?grid:Noc_util.Units.frequency list ->
   ?jobs:int ->
+  ?prune:bool ->
   config:Noc_arch.Noc_config.t ->
   mesh:Noc_arch.Mesh.t ->
   groups:int list list ->
   Noc_traffic.Use_case.t list ->
   Noc_util.Units.frequency option
 (** Smallest grid frequency at which the whole use-case set maps onto
-    the given mesh (placement free).  [None] when no level fits. *)
+    the given mesh (placement free).  [None] when no level fits.
+    [prune] as in {!for_use_case_on_design}. *)

@@ -105,6 +105,24 @@ let test_generate_on_single_switch_design () =
   let text = Netlist.generate ~design_name:"tiny" m in
   Alcotest.(check bool) "well formed" true (Wf.check text = Ok ())
 
+(* The paper's four SoC designs, end to end through the generator. *)
+let test_soc_design_netlists_are_well_formed () =
+  let module SD = Noc_benchkit.Soc_designs in
+  List.iter
+    (fun (name, ucs) ->
+      let groups = List.mapi (fun i _ -> [ i ]) ucs in
+      let m = mapped ~config:Config.default ucs groups in
+      let text = Netlist.generate ~design_name:name m in
+      match Wf.check text with
+      | Ok () -> ()
+      | Error issues ->
+        let msgs =
+          String.concat "; "
+            (List.map (fun i -> Printf.sprintf "line %d: %s" i.Wf.line i.Wf.message) issues)
+        in
+        Alcotest.fail (name ^ ": " ^ msgs))
+    [ ("d1", SD.d1 ()); ("d2", SD.d2 ()); ("d3", SD.d3 ()); ("d4", SD.d4 ()) ]
+
 (* --- systemc ------------------------------------------------------------------ *)
 
 module Sc = Noc_rtl.Systemc
@@ -283,6 +301,7 @@ let () =
           Alcotest.test_case "stats match design" `Quick test_generated_stats_match_design;
           Alcotest.test_case "slot-table package" `Quick test_slot_table_package_lists_every_use_case;
           Alcotest.test_case "single-switch design" `Quick test_generate_on_single_switch_design;
+          Alcotest.test_case "d1-d4 netlists" `Quick test_soc_design_netlists_are_well_formed;
         ] );
       ( "systemc",
         [
