@@ -84,6 +84,26 @@ let apply_jobs = function
     if j < 1 then invalid_arg "--jobs must be >= 1";
     Noc_util.Domain_pool.set_default_jobs j
 
+let cache_dir_arg =
+  let doc =
+    "Persist mapping results under $(docv): identical problems in later runs replay the stored \
+     placement, routes and slot assignments instead of re-solving.  Entries are keyed by a \
+     canonical problem digest and namespaced by the build fingerprint, so a rebuilt nocmap \
+     never reads stale results."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Disable the in-process mapping cache (and ignore $(b,--cache-dir)).  Results are identical \
+     either way; this is the honest-timing / debugging escape hatch."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let apply_cache no_cache cache_dir =
+  if no_cache then Noc_core.Mapping_cache.set_enabled false
+  else Option.iter (fun d -> Noc_core.Mapping_cache.set_dir (Some d)) cache_dir
+
 let sequential_arg =
   let doc =
     "Search mesh sizes strictly one at a time instead of speculatively evaluating a window of \
@@ -173,8 +193,9 @@ let load_spec ~bench ~use_cases ~seed ~spec_file =
     | Error msg -> Error msg)
 
 let run_map bench use_cases seed freq slots nis xy refine sequential wc no_prune jobs vhdl
-    systemc spec_file =
+    systemc spec_file no_cache cache_dir =
   apply_jobs jobs;
+  apply_cache no_cache cache_dir;
   match load_spec ~bench ~use_cases ~seed ~spec_file with
   | Error msg -> `Error (false, msg)
   | Ok spec -> (
@@ -204,7 +225,7 @@ let map_cmd =
       ret
         (const run_map $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
         $ xy_arg $ refine_arg $ sequential_arg $ wc_arg $ no_prune_arg $ jobs_arg $ vhdl_arg
-        $ systemc_arg $ spec_arg))
+        $ systemc_arg $ spec_arg $ no_cache_arg $ cache_dir_arg))
 
 (* --- experiments -------------------------------------------------------------- *)
 
@@ -212,8 +233,9 @@ let experiments_arg =
   let doc = "Which experiment to run: all, fig6a, fig6b, fig6c, s62, fig7a, fig7b, fig7c, ablations." in
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 
-let run_experiments which jobs =
+let run_experiments which jobs no_cache cache_dir =
   apply_jobs jobs;
+  apply_cache no_cache cache_dir;
   let module E = Noc_benchkit.Experiments in
   match String.lowercase_ascii which with
   | "all" ->
@@ -228,7 +250,9 @@ let run_experiments which jobs =
 
 let experiments_cmd =
   let doc = "Regenerate the paper's evaluation figures (Fig 6a-c, Sec 6.2, Fig 7a-c)." in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(ret (const run_experiments $ experiments_arg $ jobs_arg))
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(ret (const run_experiments $ experiments_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg))
 
 (* --- generate ------------------------------------------------------------------- *)
 
@@ -256,7 +280,8 @@ let duration_arg =
   let doc = "Simulation length in TDMA slots." in
   Arg.(value & opt int 3200 & info [ "duration" ] ~docv:"SLOTS" ~doc)
 
-let run_simulate bench use_cases seed freq slots nis xy duration spec_file =
+let run_simulate bench use_cases seed freq slots nis xy duration spec_file no_cache cache_dir =
+  apply_cache no_cache cache_dir;
   match load_spec ~bench ~use_cases ~seed ~spec_file with
   | Error msg -> `Error (false, msg)
   | Ok spec -> (
@@ -283,7 +308,7 @@ let simulate_cmd =
     Term.(
       ret
         (const run_simulate $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg
-       $ nis_arg $ xy_arg $ duration_arg $ spec_arg))
+       $ nis_arg $ xy_arg $ duration_arg $ spec_arg $ no_cache_arg $ cache_dir_arg))
 
 (* --- export ------------------------------------------------------------------------ *)
 
@@ -299,7 +324,8 @@ let dot_uc_arg =
   let doc = "Write use-case $(docv)'s configuration heat map as DOT to FILE.dot." in
   Arg.(value & opt (some int) None & info [ "dot-use-case" ] ~docv:"UC" ~doc)
 
-let run_export bench use_cases seed freq slots nis xy json dot dot_uc =
+let run_export bench use_cases seed freq slots nis xy json dot dot_uc no_cache cache_dir =
+  apply_cache no_cache cache_dir;
   match load_benchmark ~name:bench ~use_cases ~seed with
   | Error msg -> `Error (false, msg)
   | Ok ucs -> (
@@ -334,7 +360,7 @@ let export_cmd =
     Term.(
       ret
         (const run_export $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
-       $ xy_arg $ json_arg $ dot_arg $ dot_uc_arg))
+       $ xy_arg $ json_arg $ dot_arg $ dot_uc_arg $ no_cache_arg $ cache_dir_arg))
 
 (* --- explore ------------------------------------------------------------------------ *)
 
@@ -349,8 +375,34 @@ let cold_arg =
   in
   Arg.(value & flag & info [ "cold" ] ~doc)
 
-let run_explore bench use_cases seed torus cold no_prune jobs =
+let explore_json_arg =
+  let doc =
+    "Write the sweep's points as JSON to $(docv) instead of printing the table.  The output is \
+     deterministic, so two runs over the same benchmark can be compared byte for byte (the CI \
+     cache-correctness check diffs a cold and a cache-warmed run this way)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let points_to_json points =
+  let module J = Noc_export.Json in
+  let point p =
+    let open Noc_power.Design_space in
+    J.Obj
+      [
+        ("topology", J.String (match p.topology with Mesh.Mesh -> "mesh" | Mesh.Torus -> "torus"));
+        ("slots", J.Int p.slots);
+        ("freq_mhz", J.Float p.freq_mhz);
+        ("switches", (match p.switches with Some s -> J.Int s | None -> J.Null));
+        ("area_mm2", (match p.area_mm2 with Some a -> J.Float a | None -> J.Null));
+        ("power_mw", (match p.power_mw with Some w -> J.Float w | None -> J.Null));
+        ("start", J.String (match p.start with Warm -> "warm" | Cold -> "cold"));
+      ]
+  in
+  J.to_string ~indent:2 (J.Obj [ ("points", J.List (List.map point points)) ])
+
+let run_explore bench use_cases seed torus cold no_prune jobs json no_cache cache_dir =
   apply_jobs jobs;
+  apply_cache no_cache cache_dir;
   match load_benchmark ~name:bench ~use_cases ~seed with
   | Error msg -> `Error (false, msg)
   | Ok ucs ->
@@ -365,7 +417,11 @@ let run_explore bench use_cases seed torus cold no_prune jobs =
       Noc_power.Design_space.explore ~axes ~warm:(not cold) ~prune:(not no_prune)
         ~config:Config.default ~groups ucs
     in
-    Noc_power.Design_space.print points;
+    (match json with
+    | Some file ->
+      Out_channel.with_open_text file (fun oc -> output_string oc (points_to_json points));
+      Format.printf "wrote %s (%d points)@." file (List.length points)
+    | None -> Noc_power.Design_space.print points);
     `Ok ()
 
 let explore_cmd =
@@ -375,11 +431,12 @@ let explore_cmd =
     Term.(
       ret
         (const run_explore $ bench_arg $ use_cases_arg $ seed_arg $ torus_axis_arg $ cold_arg
-       $ no_prune_arg $ jobs_arg))
+       $ no_prune_arg $ jobs_arg $ explore_json_arg $ no_cache_arg $ cache_dir_arg))
 
 (* --- report ------------------------------------------------------------------------ *)
 
-let run_report bench use_cases seed freq slots nis xy spec_file =
+let run_report bench use_cases seed freq slots nis xy spec_file no_cache cache_dir =
+  apply_cache no_cache cache_dir;
   match load_spec ~bench ~use_cases ~seed ~spec_file with
   | Error msg -> `Error (false, msg)
   | Ok spec -> (
@@ -397,7 +454,7 @@ let report_cmd =
     Term.(
       ret
         (const run_report $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
-       $ xy_arg $ spec_arg))
+       $ xy_arg $ spec_arg $ no_cache_arg $ cache_dir_arg))
 
 (* --- lint ------------------------------------------------------------------------ *)
 
@@ -448,11 +505,57 @@ let lint_cmd =
         (const run_lint $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
        $ xy_arg $ lint_json_arg $ deep_arg $ jobs_arg $ spec_arg))
 
+(* --- cache ------------------------------------------------------------------------ *)
+
+let cache_action_arg =
+  let doc = "What to do: $(b,stats) reports the store's contents and cumulative counters; $(b,clear) deletes every entry under the directory." in
+  Arg.(value & pos 0 (enum [ ("stats", `Stats); ("clear", `Clear) ]) `Stats & info [] ~docv:"ACTION" ~doc)
+
+let run_cache action cache_dir =
+  let module RC = Noc_util.Result_cache in
+  match cache_dir with
+  | None -> `Error (false, "nocmap cache requires --cache-dir")
+  | Some dir -> (
+    match action with
+    | `Clear ->
+      let removed = RC.clear_disk ~dir in
+      Format.printf "removed %d files under %s@." removed dir;
+      `Ok ()
+    | `Stats ->
+      let fingerprint = Noc_util.Build_info.fingerprint () in
+      Format.printf "build: %s (current)@." (Noc_util.Build_info.describe ());
+      (match RC.disk_summary ~dir with
+      | [] -> Format.printf "store %s: empty@." dir
+      | versions ->
+        Format.printf "store %s:@." dir;
+        List.iter
+          (fun (version, entries, bytes) ->
+            let marker = if String.equal version fingerprint then " (current build)" else "" in
+            Format.printf "  v-%s: %d entries, %d bytes%s@." version entries bytes marker;
+            match RC.read_persisted_stats ~dir ~version with
+            | None -> ()
+            | Some s ->
+              Format.printf
+                "    cumulative: %d memory hits, %d disk hits, %d misses, %d stores, %d \
+                 evictions, %d disk errors@."
+                s.RC.memory_hits s.RC.disk_hits s.RC.misses s.RC.stores s.RC.evictions
+                s.RC.disk_errors)
+          versions);
+      `Ok ())
+
+let cache_cmd =
+  let doc =
+    "Inspect or clear a persistent mapping cache directory (see $(b,--cache-dir) on the design \
+     commands).  Entries from other builds are kept until $(b,clear) — they become reusable \
+     again when that exact build runs."
+  in
+  Cmd.v (Cmd.info "cache" ~doc) Term.(ret (const run_cache $ cache_action_arg $ cache_dir_arg))
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let () =
   let doc = "multi-use-case NoC mapping (Murali et al., DATE 2006)" in
-  let info = Cmd.info "nocmap" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "nocmap" ~version:(Noc_util.Build_info.describe ()) ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
@@ -465,4 +568,5 @@ let () =
             explore_cmd;
             report_cmd;
             lint_cmd;
+            cache_cmd;
           ]))

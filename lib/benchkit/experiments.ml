@@ -61,9 +61,19 @@ let method_result_of = function
 let compare_methods ~label use_cases =
   let p = prepare use_cases in
   let ours =
-    method_result_of (timed (fun () -> Mapping.map_design ~groups:p.groups p.all))
+    method_result_of
+      (timed (fun () ->
+           Mapping.map_design
+             ?cache:(Noc_core.Mapping_cache.design_cache ~groups:p.groups p.all)
+             ~groups:p.groups p.all))
   in
-  let wc = method_result_of (timed (fun () -> Mapping.map_design ~groups:[ [ 0 ] ] [ p.wc ])) in
+  let wc =
+    method_result_of
+      (timed (fun () ->
+           Mapping.map_design
+             ?cache:(Noc_core.Mapping_cache.design_cache ~groups:[ [ 0 ] ] [ p.wc ])
+             ~groups:[ [ 0 ] ] [ p.wc ]))
+  in
   let ratio =
     match (ours.switches, wc.switches) with
     | Some a, Some b when b > 0 -> Some (float_of_int a /. float_of_int b)
@@ -175,7 +185,13 @@ let fig7c ?(max_parallel = 4) () =
   let compound_sets = List.init max_parallel (fun i -> (i + 1, with_compounds (i + 1))) in
   let groups_of ucs = List.mapi (fun i _ -> [ i ]) ucs in
   let all_max = snd (List.nth compound_sets (max_parallel - 1)) in
-  match Mapping.map_design ~config:Config.default ~groups:(groups_of all_max) all_max with
+  match
+    Mapping.map_design ~config:Config.default
+      ?cache:
+        (Noc_core.Mapping_cache.design_cache ~config:Config.default
+           ~groups:(groups_of all_max) all_max)
+      ~groups:(groups_of all_max) all_max
+  with
   | Error _ -> List.init max_parallel (fun i -> { parallel = i + 1; freq_mhz = None })
   | Ok sized ->
     let mesh = sized.Mapping.mesh in

@@ -35,7 +35,8 @@ let run ?config ?parallel ?prune ?(refine = false) spec =
   | _ -> (
     let all, compounds, groups = expand spec in
     (* Phase 3: unified mapping and configuration. *)
-    match Mapping.map_design ?config ?parallel ?prune ~groups all with
+    let cache = Mapping_cache.design_cache ?config ~groups all in
+    match Mapping.map_design ?config ?parallel ?prune ?cache ~groups all with
     | Error failure -> Error (Format.asprintf "%s: %a" spec.name Mapping.pp_failure failure)
     | Ok mapping ->
       let refinement = if refine then Some (Refine.anneal mapping all) else None in

@@ -509,8 +509,15 @@ let map_attempt ?(engine = Indexed) ~config ~mesh ~groups use_cases =
    size) exactly. *)
 let speculation_window = 4
 
+type attempt_cache = {
+  lookup : width:int -> height:int -> (t, string) result option;
+  store : width:int -> height:int -> (t, string) result -> unit;
+  refuted : width:int -> height:int -> string option;
+  record_refuted : width:int -> height:int -> string -> unit;
+}
+
 let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
-    ?(prune = true) ~groups use_cases =
+    ?(prune = true) ?cache ~groups use_cases =
   validate_inputs ~groups use_cases;
   (match Config.validate config with Ok () -> () | Error m -> invalid_arg m);
   let sizes = Mesh.growth_sequence ~max_dim:config.Config.max_mesh_dim in
@@ -518,25 +525,46 @@ let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
      recorded as failed attempts without running placement or routing.
      Every pruned size would have failed (Feasibility's bounds are
      sound), so the first success — and hence the result — is exactly
-     the unpruned one. *)
+     the unpruned one.  Refutations are also replayed from (and
+     recorded into) the result cache when one is attached: since only
+     sound certificates ever record them, skipping a cached-refuted
+     size is equally result-preserving, even under [~prune:false]. *)
+  let cached_refutation (w, h) =
+    match cache with Some c -> c.refuted ~width:w ~height:h | None -> None
+  in
+  let record_refutation (w, h) why =
+    match cache with Some c -> c.record_refuted ~width:w ~height:h why | None -> ()
+  in
   let pruned_rev, sizes =
-    if not prune then ([], sizes)
+    if (not prune) && cache = None then ([], sizes)
     else begin
-      let cert = Feasibility.certify ~config ~groups use_cases in
+      let cert = lazy (Feasibility.certify ~config ~groups use_cases) in
       List.fold_left
         (fun (pruned, kept) (w, h) ->
-          match Feasibility.explain cert ~width:w ~height:h with
-          | Some why -> ((w, h, "statically infeasible: " ^ why) :: pruned, kept)
-          | None -> (pruned, (w, h) :: kept))
+          match cached_refutation (w, h) with
+          | Some why -> ((w, h, why) :: pruned, kept)
+          | None ->
+            if not prune then (pruned, (w, h) :: kept)
+            else (
+              match Feasibility.explain (Lazy.force cert) ~width:w ~height:h with
+              | Some why ->
+                let why = "statically infeasible: " ^ why in
+                record_refutation (w, h) why;
+                ((w, h, why) :: pruned, kept)
+              | None -> (pruned, (w, h) :: kept)))
         ([], []) sizes
       |> fun (pruned, kept) -> (pruned, List.rev kept)
     end
   in
   let attempt (w, h) =
-    let mesh = Mesh.create_kind ~kind:config.Config.topology ~width:w ~height:h in
-    match map_attempt ~engine ~config ~mesh ~groups use_cases with
-    | Ok t -> Ok t
-    | Error compact_msg -> Error (w, h, compact_msg)
+    match (match cache with Some c -> c.lookup ~width:w ~height:h | None -> None) with
+    | Some (Ok t) -> Ok t
+    | Some (Error msg) -> Error (w, h, msg)
+    | None -> (
+      let mesh = Mesh.create_kind ~kind:config.Config.topology ~width:w ~height:h in
+      let result = map_attempt ~engine ~config ~mesh ~groups use_cases in
+      (match cache with Some c -> c.store ~width:w ~height:h result | None -> ());
+      match result with Ok t -> Ok t | Error compact_msg -> Error (w, h, compact_msg))
   in
   let rec sequential attempts = function
     | [] -> Error { attempts = List.rev attempts }

@@ -43,11 +43,28 @@ type engine =
           regression tests.  Both engines produce byte-identical
           placements, routes and slot assignments. *)
 
+type attempt_cache = {
+  lookup : width:int -> height:int -> (t, string) result option;
+  store : width:int -> height:int -> (t, string) result -> unit;
+  refuted : width:int -> height:int -> string option;
+  record_refuted : width:int -> height:int -> string -> unit;
+}
+(** Memoization hooks for the growth loop, one mesh size at a time
+    (see {!Mapping_cache.design_cache}, which builds them over the
+    process-wide store).  The contract that keeps cached and fresh
+    runs byte-identical: [lookup] may only return what a prior [store]
+    recorded for the exact same problem at that size, and [refuted]
+    may only return refutations recorded by a sound feasibility
+    certificate for the same problem.  Closures must be safe to call
+    from {!Noc_util.Domain_pool} workers — the speculative size search
+    consults them concurrently. *)
+
 val map_design :
   ?config:Noc_arch.Noc_config.t ->
   ?engine:engine ->
   ?parallel:bool ->
   ?prune:bool ->
+  ?cache:attempt_cache ->
   groups:int list list ->
   Noc_traffic.Use_case.t list ->
   (t, failure) result
@@ -68,7 +85,15 @@ val map_design :
     proves infeasible; they are recorded in the failure's [attempts]
     as ["statically infeasible: ..."] without running placement or
     routing.  Because the certificate's bounds are sound the result is
-    identical either way ([false] is the [--no-prune] escape hatch). *)
+    identical either way ([false] is the [--no-prune] escape hatch).
+
+    [cache] memoizes the loop per mesh size: hits replay the recorded
+    attempt (success or failure) without running placement or routing,
+    misses are stored after computing, and certificate refutations are
+    both recorded and replayed — so even a [~prune:false] run skips
+    sizes an earlier pruned run proved infeasible.  The designed NoC is
+    byte-identical with and without a cache (property-tested in
+    [test/test_cache.ml]). *)
 
 type placement_bias =
   | Compact  (** prefer co-locating near the traffic (default) *)

@@ -1,0 +1,256 @@
+module Config = Noc_arch.Noc_config
+module Mesh = Noc_arch.Mesh
+module Flow = Noc_traffic.Flow
+module Use_case = Noc_traffic.Use_case
+module Result_cache = Noc_util.Result_cache
+
+(* --- the process-wide store --------------------------------------------- *)
+
+let store =
+  lazy (Result_cache.create ~version:(Noc_util.Build_info.fingerprint ()) ())
+
+let enabled_flag = Atomic.make true
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled on = Atomic.set enabled_flag on
+
+let at_exit_registered = Atomic.make false
+
+let set_dir d =
+  let s = Lazy.force store in
+  Result_cache.set_dir s d;
+  if d <> None && not (Atomic.exchange at_exit_registered true) then
+    at_exit (fun () -> Result_cache.persist_stats s)
+
+let dir () = if Lazy.is_val store then Result_cache.dir (Lazy.force store) else None
+
+let stats () =
+  if Lazy.is_val store then Result_cache.stats (Lazy.force store)
+  else Result_cache.zero_stats
+
+
+(* --- canonical problem digest ------------------------------------------- *)
+
+let kind_token = function Mesh.Mesh -> "mesh" | Mesh.Torus -> "torus"
+
+(* Fixed-width binary fields with length prefixes: unambiguous (so
+   distinct problems cannot collide before hashing), exact for floats
+   (IEEE bits, no formatting), and cheap — this digest runs once per
+   attempt on sweep hot paths, where a Printf-based rendering was
+   slower than the cache hit it keyed. *)
+let problem_digest ~config ~engine ~groups use_cases =
+  let b = Buffer.create 4096 in
+  let add_i i = Buffer.add_int64_le b (Int64.of_int i) in
+  let add_f x = Buffer.add_int64_le b (Int64.bits_of_float x) in
+  Buffer.add_string b "nocmap-problem 2";
+  add_f config.Config.freq_mhz;
+  add_i config.Config.link_width_bits;
+  add_i config.Config.slots;
+  add_i config.Config.slot_cycles;
+  add_i config.Config.nis_per_switch;
+  add_i (if config.Config.constrain_ni_links then 1 else 0);
+  add_i config.Config.max_mesh_dim;
+  add_i (match config.Config.routing with Config.Min_cost -> 0 | Config.Xy -> 1);
+  add_i (match config.Config.topology with Mesh.Mesh -> 0 | Mesh.Torus -> 1);
+  add_f config.Config.placement_hw_factor;
+  add_f config.Config.placement_spread_factor;
+  add_i (match engine with Mapping.Indexed -> 0 | Mapping.Reference -> 1);
+  add_i (List.length groups);
+  List.iter
+    (fun g ->
+      add_i (List.length g);
+      List.iter add_i g)
+    groups;
+  add_i (List.length use_cases);
+  List.iter
+    (fun uc ->
+      add_i uc.Use_case.cores;
+      add_i (List.length uc.Use_case.flows);
+      List.iter
+        (fun f ->
+          add_i f.Flow.src;
+          add_i f.Flow.dst;
+          add_f f.Flow.bandwidth;
+          add_f f.Flow.latency_ns;
+          add_i (match f.Flow.service with Flow.Guaranteed -> 0 | Flow.Best_effort -> 1))
+        uc.Use_case.flows)
+    use_cases;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* A plain grid is identified by (kind, width, height); [with_express]
+   strictly adds links, so a matching link count proves there are none.
+   Express meshes get a distinct key from their endpoint list — their
+   results are never stored (the codec cannot represent them), but the
+   key must not collide with the grid's. *)
+let mesh_key mesh =
+  let kind = Mesh.kind mesh and w = Mesh.width mesh and h = Mesh.height mesh in
+  let plain = Mesh.create_kind ~kind ~width:w ~height:h in
+  if Mesh.link_count mesh = Mesh.link_count plain then
+    Printf.sprintf "grid:%s:%d:%d" (kind_token kind) w h
+  else begin
+    let b = Buffer.create 256 in
+    for l = 0 to Mesh.link_count mesh - 1 do
+      let s, d = Mesh.link_endpoints mesh l in
+      Buffer.add_string b (Printf.sprintf "%d>%d;" s d)
+    done;
+    Printf.sprintf "express:%s:%d:%d:%s" (kind_token kind) w h
+      (Digest.to_hex (Digest.string (Buffer.contents b)))
+  end
+
+let grid_key ~topology ~width ~height =
+  Printf.sprintf "grid:%s:%d:%d" (kind_token topology) width height
+
+(* --- result <-> payload -------------------------------------------------- *)
+
+let encode_result = function
+  | Ok m -> Option.map (fun payload -> "ok\n" ^ payload) (Mapping_codec.encode m)
+  | Error msg -> Some ("err\n" ^ msg)
+
+let decode_result text =
+  let after prefix = String.sub text (String.length prefix) (String.length text - String.length prefix) in
+  if String.starts_with ~prefix:"ok\n" text then
+    match Mapping_codec.decode (after "ok\n") with
+    | Ok m -> Some (Ok m)
+    | Error _ -> None
+  else if String.starts_with ~prefix:"err\n" text then Some (Error (after "err\n"))
+  else None
+
+(* Decoded-value memo in front of the string store: replaying a hit
+   then costs a few array blits ({!Resources.copy}) instead of
+   re-parsing and re-reserving tens of KB of text — the difference
+   between a warm sweep dominated by lookups and one dominated by
+   decoding.  Only consulted after the string tier confirms the key
+   (so the LRU recency and hit counters stay accurate), and only
+   trusted because encoding is canonical: one key has one payload, so
+   the memoized value always matches the stored bytes.  Every return
+   is a fresh copy — callers never alias the memo's states. *)
+let copy_mapping (m : Mapping.t) =
+  {
+    m with
+    Mapping.placement = Array.copy m.Mapping.placement;
+    states = Array.map Resources.copy m.Mapping.states;
+  }
+
+let decoded : (string, Mapping.t) Hashtbl.t = Hashtbl.create 64
+let decoded_mutex = Mutex.create ()
+let decoded_capacity = 256
+
+let decoded_find key =
+  Mutex.lock decoded_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock decoded_mutex)
+    (fun () -> Option.map copy_mapping (Hashtbl.find_opt decoded key))
+
+let decoded_add key m =
+  Mutex.lock decoded_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock decoded_mutex)
+    (fun () ->
+      if Hashtbl.length decoded >= decoded_capacity then Hashtbl.reset decoded;
+      Hashtbl.replace decoded key (copy_mapping m))
+
+let decoded_clear () =
+  Mutex.lock decoded_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock decoded_mutex)
+    (fun () -> Hashtbl.reset decoded)
+
+let clear () =
+  decoded_clear ();
+  Result_cache.clear (Lazy.force store)
+
+let lookup_result s key =
+  match Result_cache.find s key with
+  | None -> None
+  | Some text -> (
+    match decoded_find key with
+    | Some m -> Some (Ok m)
+    | None -> (
+      match decode_result text with
+      | Some (Ok m) ->
+        decoded_add key m;
+        Some (Ok m)
+      | other -> other))
+
+let store_result s key result =
+  match encode_result result with
+  | None -> ()
+  | Some payload ->
+    Result_cache.add s key payload;
+    (match result with Ok m -> decoded_add key m | Error _ -> ())
+
+let cached key compute =
+  if not (enabled ()) then compute ()
+  else begin
+    let s = Lazy.force store in
+    match lookup_result s key with
+    | Some result -> result
+    | None ->
+      let result = compute () in
+      store_result s key result;
+      result
+  end
+
+(* --- map_design hooks ---------------------------------------------------- *)
+
+let attempt_key digest ~topology ~width ~height =
+  digest ^ "|attempt|" ^ grid_key ~topology ~width ~height
+
+let refuted_key digest ~topology ~width ~height =
+  digest ^ "|refuted|" ^ grid_key ~topology ~width ~height
+
+let design_cache ?(config = Config.default) ?(engine = Mapping.Indexed) ~groups use_cases =
+  if not (enabled ()) then None
+  else begin
+    let s = Lazy.force store in
+    let digest = problem_digest ~config ~engine ~groups use_cases in
+    let topology = config.Config.topology in
+    Some
+      {
+        Mapping.lookup =
+          (fun ~width ~height ->
+            lookup_result s (attempt_key digest ~topology ~width ~height));
+        store =
+          (fun ~width ~height result ->
+            store_result s (attempt_key digest ~topology ~width ~height) result);
+        refuted =
+          (fun ~width ~height ->
+            Result_cache.find s (refuted_key digest ~topology ~width ~height));
+        record_refuted =
+          (fun ~width ~height why ->
+            Result_cache.add s (refuted_key digest ~topology ~width ~height) why);
+      }
+  end
+
+(* --- cached single-attempt wrappers -------------------------------------- *)
+
+let attempt ?(engine = Mapping.Indexed) ~config ~mesh ~groups use_cases =
+  let compute () = Mapping.map_attempt ~engine ~config ~mesh ~groups use_cases in
+  if not (enabled ()) then compute ()
+  else
+    let digest = problem_digest ~config ~engine ~groups use_cases in
+    cached (digest ^ "|attempt|" ^ mesh_key mesh) compute
+
+let on_mesh ?(bias = Mapping.Compact) ?(engine = Mapping.Indexed) ~config ~mesh ~groups
+    use_cases =
+  let compute () = Mapping.map_on_mesh ~bias ~engine ~config ~mesh ~groups use_cases in
+  if not (enabled ()) then compute ()
+  else
+    let digest = problem_digest ~config ~engine ~groups use_cases in
+    let bias_tok = match bias with Mapping.Compact -> "compact" | Mapping.Spread -> "spread" in
+    cached (digest ^ "|on_mesh|" ^ bias_tok ^ "|" ^ mesh_key mesh) compute
+
+let with_placement ?(engine = Mapping.Indexed) ~config ~mesh ~groups ~placement use_cases =
+  let compute () =
+    Mapping.map_with_placement ~engine ~config ~mesh ~groups ~placement use_cases
+  in
+  if not (enabled ()) then compute ()
+  else
+    let digest = problem_digest ~config ~engine ~groups use_cases in
+    let pl =
+      Digest.to_hex
+        (Digest.string
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int placement))))
+    in
+    cached (digest ^ "|placed|" ^ pl ^ "|" ^ mesh_key mesh) compute

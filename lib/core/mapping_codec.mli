@@ -1,0 +1,23 @@
+(** Stable serialisation of {!Mapping.t} — the persistence format of
+    the result cache.
+
+    The format is a versioned, line-based text encoding with
+    hex-printed floats ([%h]), so a round-trip is exact: decoding an
+    encoded mapping rebuilds the configuration, mesh, placement,
+    routes {e and the per-use-case resource states} (TDMA slot owners
+    and NI budgets) bit for bit.  [encode] is canonical — equal
+    mappings encode to equal bytes — which is also what the
+    cache-correctness property tests compare.
+
+    [decode] never trusts its input: any truncation, token garbage,
+    out-of-range index or count mismatch returns [Error], which the
+    cache layer treats as a miss. *)
+
+val format_version : int
+
+val encode : Mapping.t -> string option
+(** [None] when the mapping cannot be represented stably — its mesh
+    carries express channels beyond the plain grid the format records
+    (such mappings are simply not cached). *)
+
+val decode : string -> (Mapping.t, string) result

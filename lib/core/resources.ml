@@ -22,6 +22,9 @@ let create ~config ~mesh ~use_case =
     ni_budget = [||];
   }
 
+let copy t =
+  { t with tables = Array.map Slot_table.copy t.tables; ni_budget = Array.copy t.ni_budget }
+
 let use_case t = t.use_case
 let mesh t = t.mesh
 let config t = t.config
@@ -74,6 +77,32 @@ let ni_reserve t ~core ~bw =
         (Printf.sprintf "NI link of core %d exhausted (%.1f MB/s left, %.1f needed)" core
            budget.(core) bw)
   end
+
+let reservations t =
+  let acc = ref [] in
+  for l = Array.length t.tables - 1 downto 0 do
+    let tab = t.tables.(l) in
+    for s = Slot_table.slots tab - 1 downto 0 do
+      match Slot_table.owner tab s with
+      | Some owner -> acc := (l, s, owner) :: !acc
+      | None -> ()
+    done
+  done;
+  !acc
+
+let ni_budget_snapshot t = Array.copy t.ni_budget
+
+let restore ~config ~mesh ~use_case ~ni_budget ~reservations =
+  let t = create ~config ~mesh ~use_case in
+  let links = Array.length t.tables in
+  List.iter
+    (fun (l, s, owner) ->
+      if l < 0 || l >= links then invalid_arg "Resources.restore: link out of range";
+      if s < 0 || s >= config.Config.slots then invalid_arg "Resources.restore: slot out of range";
+      Slot_table.reserve t.tables.(l) ~slot:s ~owner)
+    reservations;
+  t.ni_budget <- Array.copy ni_budget;
+  t
 
 let pp ppf t =
   Format.fprintf ppf "uc %d on %a: mean util %.2f, max util %.2f" t.use_case Mesh.pp t.mesh

@@ -12,6 +12,10 @@ type t
 val create : config:Noc_arch.Noc_config.t -> mesh:Noc_arch.Mesh.t -> use_case:int -> t
 (** Fresh, empty state for one use-case on the given mesh. *)
 
+val copy : t -> t
+(** Independent deep copy: the tables and NI budgets share nothing
+    with the original. *)
+
 val use_case : t -> int
 val mesh : t -> Noc_arch.Mesh.t
 val config : t -> Noc_arch.Noc_config.t
@@ -50,5 +54,26 @@ val ni_reserve : t -> core:int -> bw:Noc_util.Units.bandwidth -> (unit, string) 
 (** Budget the core's NI<->switch link (both directions tracked as one
     budget, matching one NI port pair per core).  Always succeeds when
     the configuration leaves NI links unconstrained. *)
+
+val reservations : t -> (int * int * int) list
+(** Every reserved slot as [(link, slot, owner)], in increasing
+    (link, slot) order — a complete, canonical dump of the TDMA state,
+    used by the mapping-result codec ({!Mapping_codec}). *)
+
+val ni_budget_snapshot : t -> float array
+(** Copy of the per-core remaining NI budgets (possibly shorter than
+    the core count: entries are grown on demand by {!ni_reserve}). *)
+
+val restore :
+  config:Noc_arch.Noc_config.t ->
+  mesh:Noc_arch.Mesh.t ->
+  use_case:int ->
+  ni_budget:float array ->
+  reservations:(int * int * int) list ->
+  t
+(** Rebuild a state from a {!reservations} dump and a
+    {!ni_budget_snapshot}: exactly inverts the pair, so a decoded
+    cache entry is indistinguishable from the freshly computed state.
+    @raise Invalid_argument on an out-of-range link or slot. *)
 
 val pp : Format.formatter -> t -> unit

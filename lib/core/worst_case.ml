@@ -32,7 +32,8 @@ let synthetic use_cases =
 
 let map_design ?config ?parallel use_cases =
   let wc = synthetic use_cases in
-  Mapping.map_design ?config ?parallel ~groups:[ [ 0 ] ] [ wc ]
+  let cache = Mapping_cache.design_cache ?config ~groups:[ [ 0 ] ] [ wc ] in
+  Mapping.map_design ?config ?parallel ?cache ~groups:[ [ 0 ] ] [ wc ]
 
 let overspecification use_cases =
   let wc = synthetic use_cases in

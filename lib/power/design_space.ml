@@ -58,8 +58,11 @@ let infeasible ~freq ~slots ~topology =
    cold behaviour from that size onward. *)
 let solve ~config ~groups ~use_cases ~prune ~freq ~slots ~topology seed_opt =
   let cfg = { config with Config.freq_mhz = freq; slots; topology } in
+  (* One cache handle per point: the problem digest is computed once
+     and shared by every size attempt below. *)
+  let cache = Noc_core.Mapping_cache.design_cache ~config:cfg ~groups use_cases in
   let cold () =
-    match Mapping.map_design ~config:cfg ~prune ~groups use_cases with
+    match Mapping.map_design ~config:cfg ~prune ?cache ~groups use_cases with
     | Ok m -> point_of_mapping ~freq ~slots ~topology ~start:Cold m
     | Error _ -> infeasible ~freq ~slots ~topology
   in
@@ -78,9 +81,20 @@ let solve ~config ~groups ~use_cases ~prune ~freq ~slots ~topology seed_opt =
     in
     let sizes = Mesh.growth_sequence ~max_dim:cfg.Config.max_mesh_dim in
     let smaller = List.filter (fun (w, h) -> w * h < seed.w * seed.h) sizes in
-    let attempt (w, h) =
+    let fresh_attempt (w, h) =
       let mesh = Mesh.create_kind ~kind:topology ~width:w ~height:h in
       Mapping.map_attempt ~config:cfg ~mesh ~groups use_cases
+    in
+    let attempt (w, h) =
+      match cache with
+      | None -> fresh_attempt (w, h)
+      | Some c -> (
+        match c.Mapping.lookup ~width:w ~height:h with
+        | Some result -> result
+        | None ->
+          let result = fresh_attempt (w, h) in
+          c.Mapping.store ~width:w ~height:h result;
+          result)
     in
     let rec below = function
       | [] ->
@@ -91,8 +105,8 @@ let solve ~config ~groups ~use_cases ~prune ~freq ~slots ~topology seed_opt =
           else
             let mesh = Mesh.create_kind ~kind:topology ~width:seed.w ~height:seed.h in
             match
-              Mapping.map_with_placement ~config:cfg ~mesh ~groups ~placement:seed.placement
-                use_cases
+              Noc_core.Mapping_cache.with_placement ~config:cfg ~mesh ~groups
+                ~placement:seed.placement use_cases
             with
             | Ok m -> Ok m
             | Error _ -> Error ()

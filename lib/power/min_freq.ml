@@ -53,7 +53,10 @@ let for_use_case_on_design ?(grid = default_grid) ?jobs ?(prune = true) ~design 
     let cfg = Config.with_freq config f in
     ((not prune) || admitted ~cfg ~mesh ~groups:[ [ 0 ] ] [ renamed ])
     &&
-    match Mapping.map_with_placement ~config:cfg ~mesh ~groups:[ [ 0 ] ] ~placement [ renamed ] with
+    match
+      Noc_core.Mapping_cache.with_placement ~config:cfg ~mesh ~groups:[ [ 0 ] ] ~placement
+        [ renamed ]
+    with
     | Ok _ -> true
     | Error _ -> false
   in
@@ -65,7 +68,7 @@ let for_use_cases_on_mesh ?(grid = default_grid) ?jobs ?(prune = true) ~config ~
     let cfg = Config.with_freq config f in
     ((not prune) || admitted ~cfg ~mesh ~groups use_cases)
     &&
-    match Mapping.map_on_mesh ~config:cfg ~mesh ~groups use_cases with
+    match Noc_core.Mapping_cache.on_mesh ~config:cfg ~mesh ~groups use_cases with
     | Ok _ -> true
     | Error _ -> false
   in

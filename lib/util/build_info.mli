@@ -1,0 +1,21 @@
+(** Build identity of the running binary.
+
+    The persistent result cache stores mapping solutions on disk; an
+    entry written by one build must never be served to another (the
+    engine, codec or digest scheme may have changed between them).  The
+    store is therefore namespaced by {!fingerprint}, and
+    [nocmap --version] prints it so a cache directory can be audited
+    against the binary that filled it. *)
+
+val version : string
+(** Human-facing semantic version of the tool. *)
+
+val fingerprint : unit -> string
+(** Hex digest identifying this exact build, computed lazily from the
+    running executable (size plus head/tail samples — cheap enough to
+    run on every CLI start, and any relink changes it).  Falls back to
+    a constant when the executable cannot be read, so the cache always
+    has a namespace. *)
+
+val describe : unit -> string
+(** ["<version>+build.<fingerprint>"] — the [--version] string. *)

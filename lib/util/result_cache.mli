@@ -1,0 +1,84 @@
+(** Content-addressed result store: a bounded in-process LRU over an
+    optional persistent on-disk tier.
+
+    Keys are canonical digests of a problem instance; values are the
+    serialised solution.  The memory tier memoizes within a process
+    (sweeps and searches re-solving identical sub-problems); the disk
+    tier, when a directory is attached, persists results across
+    processes and CLI runs.
+
+    Correctness contract:
+    - the store never invents data: [find] only returns bytes a prior
+      [add] stored under the same key, in a store created with the same
+      [version];
+    - disk entries carry the store version, the full key and a payload
+      digest; a corrupted, truncated or version-mismatched file
+      degrades to a miss (and is dropped), never an error;
+    - disk writes go through a temp file and an atomic rename, so a
+      crashed or concurrent writer can never leave a torn entry behind;
+    - every operation is safe to call concurrently from
+      {!Domain_pool} workers. *)
+
+type stats = {
+  memory_hits : int;
+  disk_hits : int;   (** misses in memory served by the disk tier *)
+  misses : int;      (** not found in either tier *)
+  evictions : int;   (** LRU drops from the memory tier *)
+  stores : int;      (** successful [add]s *)
+  disk_errors : int; (** unreadable/corrupt/mismatched disk entries seen *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+type t
+
+val create : ?capacity:int -> ?dir:string -> version:string -> unit -> t
+(** A fresh store.  [capacity] bounds the memory tier (entry count,
+    default 1024, clamped to at least 1).  [dir] attaches the disk
+    tier; entries live under [dir/v-<version>/]. *)
+
+val version : t -> string
+val capacity : t -> int
+val length : t -> int
+(** Entries currently held by the memory tier. *)
+
+val set_dir : t -> string option -> unit
+(** Attach or detach the disk tier (the [--cache-dir] knob). *)
+
+val dir : t -> string option
+
+val find : t -> string -> string option
+(** Memory first, then disk.  A disk hit is promoted into the memory
+    tier. *)
+
+val add : t -> string -> string -> unit
+(** Store under [key] in both tiers (disk only when attached).  An
+    existing entry is replaced.  Disk failures are swallowed: the
+    memory tier always succeeds. *)
+
+val stats : t -> stats
+(** Counters since creation (this process only; see
+    {!persist_stats}). *)
+
+val clear : t -> unit
+(** Empty the memory tier and delete this version's disk entries.
+    Counters are kept. *)
+
+val persist_stats : t -> unit
+(** Fold the counters accumulated since the last persist into the
+    version directory's [STATS] file (read-merge-rename; no-op without
+    a disk tier).  Registered [at_exit] by callers that attach a
+    directory, so [nocmap cache stats] can report cumulative traffic. *)
+
+val read_persisted_stats : dir:string -> version:string -> stats option
+(** The cumulative persisted counters of one version directory. *)
+
+val disk_summary : dir:string -> (string * int * int) list
+(** Per version under [dir]: (version, entry count, payload bytes),
+    sorted by version.  Unreadable directories count as empty. *)
+
+val clear_disk : dir:string -> int
+(** Delete every version's entries and stats under [dir]; returns how
+    many files were removed.  Only files matching the store layout are
+    touched. *)
