@@ -158,6 +158,83 @@ let bench_sweep_min_freq =
            (fun u -> ignore (Noc_power.Min_freq.for_use_case_on_design ~design u))
            ucs))
 
+(* The incremental-remapping measurements behind the PR 6 acceptance
+   criterion: a 40-use-case Sp40 churn sequence of three single-use-case
+   deltas (retune one use-case, retire one, ship one new one).
+   `churn-full` re-runs the whole design flow per revision — the cost
+   every spec change paid before Remap existed; `churn-incremental`
+   re-routes only the dirty switching-graph component on the retained
+   mesh and placement.  The process-wide cache stays disabled here, so
+   the incremental row times the delta routing itself, not a cache
+   lookup. *)
+let churn_specs =
+  let renumber ucs =
+    List.mapi (fun i u -> Noc_traffic.Use_case.rename u ~id:i ~name:u.Noc_traffic.Use_case.name) ucs
+  in
+  let scale_uc k f (spec : DF.spec) =
+    let open Noc_traffic in
+    { spec with
+      DF.use_cases =
+        List.map
+          (fun u ->
+            if u.Use_case.id <> k then u
+            else
+              Use_case.create ~id:k ~name:u.Use_case.name ~cores:u.Use_case.cores
+                (List.map
+                   (fun fl ->
+                     Flow.v
+                       ?latency_ns:
+                         (if fl.Flow.latency_ns = infinity then None
+                          else Some fl.Flow.latency_ns)
+                       ~service:fl.Flow.service ~src:fl.Flow.src ~dst:fl.Flow.dst
+                       (f *. fl.Flow.bandwidth))
+                   u.Use_case.flows))
+          spec.DF.use_cases }
+  in
+  let remove_uc k (spec : DF.spec) =
+    { spec with
+      DF.use_cases =
+        renumber (List.filter (fun u -> u.Noc_traffic.Use_case.id <> k) spec.DF.use_cases) }
+  in
+  let add_uc (spec : DF.spec) =
+    let fresh = List.hd (Syn.generate ~seed:4242 ~params:Syn.spread_params ~use_cases:1) in
+    let n = List.length spec.DF.use_cases in
+    { spec with
+      DF.use_cases =
+        spec.DF.use_cases
+        @ [ Noc_traffic.Use_case.rename fresh ~id:n ~name:"churn-added" ] }
+  in
+  let spec0 =
+    DF.spec_of_use_cases ~name:"sp40"
+      (Syn.generate ~seed:200 ~params:Syn.spread_params ~use_cases:40)
+  in
+  let s1 = scale_uc 7 0.9 spec0 in
+  let s2 = remove_uc 13 s1 in
+  let s3 = add_uc s2 in
+  (spec0, [ s1; s2; s3 ])
+
+let bench_remap_incremental =
+  let spec0, deltas = churn_specs in
+  let d0 = match DF.run spec0 with Ok d -> d | Error e -> failwith e in
+  Test.make ~name:"remap:churn-incremental"
+    (Staged.stage (fun () ->
+         ignore
+           (List.fold_left
+              (fun old spec ->
+                match Noc_core.Remap.remap ~old spec with
+                | Ok o -> o.Noc_core.Remap.design
+                | Error e -> failwith e)
+              d0 deltas)))
+
+let bench_remap_full =
+  let _, deltas = churn_specs in
+  Test.make ~name:"remap:churn-full"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun spec ->
+             match DF.run spec with Ok _ -> () | Error e -> failwith e)
+           deltas))
+
 let bench_substrate =
   (* not a paper figure: the simulator and RTL backend, for context *)
   let ucs = SD.example1_use_cases in
@@ -180,7 +257,7 @@ let suite =
       bench_fig6a; bench_fig6b; bench_fig6c; bench_s62; bench_fig7a; bench_fig7b; bench_fig7c;
       bench_sweep_pareto_grid; bench_sweep_lint_pruned; bench_sweep_lint_noprune;
       bench_sweep_explore_cache_cold; bench_sweep_explore_cache_warm;
-      bench_sweep_min_freq; bench_substrate;
+      bench_sweep_min_freq; bench_remap_incremental; bench_remap_full; bench_substrate;
     ]
 
 (* Per-benchmark mean ns, sorted by name — the stable shape behind both
@@ -223,6 +300,62 @@ let run_perf_suite () =
    stable key per benchmark, so successive PRs can diff performance. *)
 let bench_json_file = "BENCH_nocmap.json"
 
+(* The disk tier measured across processes, which the in-process suite
+   cannot do (its counters all live and die with this process): run the
+   D2 explore twice in nocmap subprocesses against one --cache-dir.
+   The first run fills the store, the second replays it; the warm
+   run's disk hits come from the STATS files the subprocesses persist
+   at exit.  The store is versioned by each binary's own build
+   fingerprint — not this bench harness's — so the counters are summed
+   over every version found in the directory. *)
+let disk_tier_rows () =
+  let candidates =
+    [ Filename.concat (Filename.dirname Sys.executable_name)
+        (Filename.concat ".." (Filename.concat "bin" "nocmap.exe"));
+      Filename.concat "_build" (Filename.concat "default" (Filename.concat "bin" "nocmap.exe"))
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None ->
+    prerr_endline "disk-tier bench skipped: nocmap.exe not found next to the bench binary";
+    []
+  | Some exe -> (
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "nocmap-bench-disk-%d" (Unix.getpid ()))
+    in
+    let run () =
+      let cmd =
+        Printf.sprintf "%s explore d2 --cache-dir %s >/dev/null 2>&1" (Filename.quote exe)
+          (Filename.quote dir)
+      in
+      let t0 = Unix.gettimeofday () in
+      let rc = Sys.command cmd in
+      (rc, (Unix.gettimeofday () -. t0) *. 1e9)
+    in
+    let rc_cold, cold_ns = run () in
+    let rc_warm, warm_ns = run () in
+    let persisted_disk_hits =
+      let module RC = Noc_util.Result_cache in
+      List.fold_left
+        (fun acc (version, _, _) ->
+          match RC.read_persisted_stats ~dir ~version with
+          | Some s -> acc + s.RC.disk_hits
+          | None -> acc)
+        0 (RC.disk_summary ~dir)
+    in
+    (try Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)) |> ignore
+     with Sys_error _ -> ());
+    if rc_cold <> 0 || rc_warm <> 0 then begin
+      prerr_endline "disk-tier bench skipped: the subprocess explore failed";
+      []
+    end
+    else
+      [ ("cache:disk-cold", cold_ns);
+        ("cache:disk-warm", warm_ns);
+        ("cache:disk-warm-hits", float_of_int persisted_disk_hits)
+      ])
+
 let write_json rows =
   (* Counters from the cache benchmarks (the rest of the suite runs
      with the cache disabled), recorded next to the timings so the
@@ -238,7 +371,7 @@ let write_json rows =
       ("cache:evictions", float_of_int s.evictions);
     ]
   in
-  let rows = rows @ counters in
+  let rows = rows @ counters @ disk_tier_rows () in
   Out_channel.with_open_text bench_json_file (fun oc ->
       output_string oc "{\n";
       List.iteri

@@ -551,6 +551,85 @@ let cache_cmd =
   in
   Cmd.v (Cmd.info "cache" ~doc) Term.(ret (const run_cache $ cache_action_arg $ cache_dir_arg))
 
+(* --- remap ----------------------------------------------------------------------- *)
+
+let remap_from_arg =
+  let doc = "The previous revision's spec file (the completed design to churn from)." in
+  Arg.(required & opt (some string) None & info [ "from" ] ~docv:"OLD.spec" ~doc)
+
+let remap_to_arg =
+  let doc = "The new revision's spec file." in
+  Arg.(required & opt (some string) None & info [ "to" ] ~docv:"NEW.spec" ~doc)
+
+let reference_arg =
+  let doc =
+    "Use the naive reference remapper (no cache, every sub-problem computed directly).  The \
+     result is byte-identical to the default incremental engine — this is the oracle the \
+     correctness CI compares against."
+  in
+  Arg.(value & flag & info [ "reference" ] ~doc)
+
+let remap_json_arg =
+  let doc = "Write the remapped design as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let run_remap from_file to_file reference freq slots nis xy sequential no_prune jobs json
+    no_cache cache_dir =
+  apply_jobs jobs;
+  apply_cache no_cache cache_dir;
+  let parse file =
+    match Noc_core.Spec_parser.parse_file file with
+    | Ok spec -> Ok spec
+    | Error e -> Error (Format.asprintf "%s: %a" file Noc_core.Spec_parser.pp_error e)
+  in
+  match (parse from_file, parse to_file) with
+  | Error msg, _ | _, Error msg -> `Error (false, msg)
+  | Ok old_spec, Ok new_spec -> (
+    let config = make_config ~freq ~slots ~nis ~xy in
+    let parallel = not sequential and prune = not no_prune in
+    match DF.run ~config ~parallel ~prune old_spec with
+    | Error msg -> `Error (false, msg)
+    | Ok old_design -> (
+      let mode = if reference then Noc_core.Remap.Reference else Noc_core.Remap.Incremental in
+      match Noc_core.Remap.remap ~config ~mode ~parallel ~prune ~old:old_design new_spec with
+      | Error msg -> `Error (false, msg)
+      | Ok o ->
+        let open Noc_core.Remap in
+        Format.printf "remap %s -> %s: %s@." old_spec.DF.name new_spec.DF.name
+          (match o.path with
+          | Reused -> "reused (no routing ran)"
+          | Delta n -> Printf.sprintf "delta (%d dirty group%s re-routed)" n (if n = 1 then "" else "s")
+          | Warm_placement -> "warm placement (whole problem re-routed on the old mesh)"
+          | Regrown -> "regrown (full growth search)");
+        Format.printf "groups: %d clean, %d dirty, %d removed@." (List.length o.delta.clean)
+          (List.length o.delta.dirty)
+          (List.length o.delta.removed);
+        print_design new_spec.DF.name o.design.DF.mapping (DF.verified o.design);
+        (match Noc_core.Mapping_codec.digest o.design.DF.mapping with
+        | Some d -> Format.printf "mapping digest: %s@." d
+        | None -> ());
+        (match json with
+        | Some file ->
+          Out_channel.with_open_text file (fun oc ->
+              output_string oc (Noc_export.Design_export.design_to_string o.design));
+          Format.printf "wrote %s@." file
+        | None -> ());
+        `Ok ()))
+
+let remap_cmd =
+  let doc =
+    "Incrementally re-map a churned spec: re-route only the switching-graph components the \
+     delta touches, keeping every unaffected group's configuration byte-identical to the \
+     $(b,--from) design."
+  in
+  Cmd.v
+    (Cmd.info "remap" ~doc)
+    Term.(
+      ret
+        (const run_remap $ remap_from_arg $ remap_to_arg $ reference_arg $ freq_arg $ slots_arg
+       $ nis_arg $ xy_arg $ sequential_arg $ no_prune_arg $ jobs_arg $ remap_json_arg
+       $ no_cache_arg $ cache_dir_arg))
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let () =
@@ -568,5 +647,6 @@ let () =
             explore_cmd;
             report_cmd;
             lint_cmd;
+            remap_cmd;
             cache_cmd;
           ]))

@@ -29,6 +29,17 @@ let expand spec =
   List.iter (Switching.add_compound switching) compounds;
   (all, compounds, Switching.groups switching)
 
+(* Phase 4 packaging: verify a finished mapping and assemble the
+   design record around it.  Exposed so the incremental remapper can
+   produce designs whose verification is exactly the one [run] would
+   have performed. *)
+let package ?refinement ~spec ~all_use_cases ~compounds ~groups ~report mapping =
+  { spec; all_use_cases; compounds; groups; mapping; report; refinement }
+
+let assemble ?refinement ~spec ~all_use_cases ~compounds ~groups mapping =
+  package ?refinement ~spec ~all_use_cases ~compounds ~groups
+    ~report:(Verify.verify mapping all_use_cases) mapping
+
 let run ?config ?parallel ?prune ?(refine = false) spec =
   match spec.use_cases with
   | [] -> Error "design flow: no use-cases"
@@ -43,9 +54,7 @@ let run ?config ?parallel ?prune ?(refine = false) spec =
       let mapping =
         match refinement with Some o -> o.Refine.result | None -> mapping
       in
-      (* Phase 4: analytic verification of the GT connections. *)
-      let report = Verify.verify mapping all in
-      Ok { spec; all_use_cases = all; compounds; groups; mapping; report; refinement })
+      Ok (assemble ?refinement ~spec ~all_use_cases:all ~compounds ~groups mapping))
 
 let switch_count t = Mapping.switch_count t.mapping
 

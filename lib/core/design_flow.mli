@@ -35,6 +35,35 @@ val expand : spec -> Noc_traffic.Use_case.t list * Compound.t list * int list li
     — exactly what phase 3 maps.  Exposed for the static analyzer,
     which certifies feasibility of the same inputs. *)
 
+val package :
+  ?refinement:Refine.outcome ->
+  spec:spec ->
+  all_use_cases:Noc_traffic.Use_case.t list ->
+  compounds:Compound.t list ->
+  groups:int list list ->
+  report:Verify.report ->
+  Mapping.t ->
+  t
+(** [assemble] with a caller-supplied phase-4 report.  The incremental
+    remapper packages stitched designs with a spliced report: fresh
+    checks for re-routed components ({!Verify.verify} [~only]), the
+    old design's violations inherited (ids renumbered) for retained
+    components, whose check inputs are byte-identical. *)
+
+val assemble :
+  ?refinement:Refine.outcome ->
+  spec:spec ->
+  all_use_cases:Noc_traffic.Use_case.t list ->
+  compounds:Compound.t list ->
+  groups:int list list ->
+  Mapping.t ->
+  t
+(** Package a finished mapping as a design: runs the full phase-4
+    analytic verification and records its report.  [run] is [expand] +
+    phase 3 + [assemble]; the incremental remapper ({!Remap}) uses the
+    same door for its whole-problem fallback paths and [package] with
+    a spliced report for stitched designs. *)
+
 val run :
   ?config:Noc_arch.Noc_config.t ->
   ?parallel:bool ->

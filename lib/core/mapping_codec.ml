@@ -72,6 +72,8 @@ let encode (m : Mapping.t) =
     Some (Buffer.contents b)
   end
 
+let digest m = Option.map (fun bytes -> Digest.to_hex (Digest.string bytes)) (encode m)
+
 (* --- decoding ----------------------------------------------------------- *)
 
 exception Bad of string

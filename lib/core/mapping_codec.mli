@@ -21,3 +21,9 @@ val encode : Mapping.t -> string option
     (such mappings are simply not cached). *)
 
 val decode : string -> (Mapping.t, string) result
+
+val digest : Mapping.t -> string option
+(** MD5 hex of the canonical bytes, or [None] when [encode] cannot
+    represent the mapping.  Two mappings digest equal iff they encode
+    equal — the cheap identity check the remap CLI prints and the CI
+    correctness job compares. *)

@@ -21,9 +21,36 @@ type report = {
 
 let ok r = r.violations = []
 
-let verify (m : Mapping.t) use_cases =
+let verify ?only (m : Mapping.t) use_cases =
   let config = m.Mapping.config in
   let mesh = m.Mapping.mesh in
+  (* [only]: restrict the per-use-case checks (and the group checks to
+     groups containing a selected member) — global invariants still
+     run.  The incremental remapper uses this to re-verify just the
+     freshly-routed components; retained components' inputs are
+     byte-identical to the old design's, so their check outcomes are
+     the old report's. *)
+  let selected =
+    match only with
+    | None -> fun _ -> true
+    | Some ids ->
+      let tbl = Hashtbl.create (List.length ids) in
+      List.iter (fun i -> Hashtbl.replace tbl i ()) ids;
+      Hashtbl.mem tbl
+  in
+  let use_cases = List.filter (fun u -> selected u.Use_case.id) use_cases in
+  (* Routes indexed by use-case once: the per-flow lookup below would
+     otherwise scan the whole route list for every flow. *)
+  let routes_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun r ->
+        let uc = r.Route.use_case in
+        Hashtbl.replace tbl uc
+          (r :: Option.value (Hashtbl.find_opt tbl uc) ~default:[]))
+      m.Mapping.routes;
+    fun uc -> List.rev (Option.value (Hashtbl.find_opt tbl uc) ~default:[])
+  in
   let checks = ref 0 in
   let violations = ref [] in
   let fail ~use_case ~src_core ~dst_core kind detail =
@@ -38,6 +65,7 @@ let verify (m : Mapping.t) use_cases =
     (fun u ->
       let uid = u.Use_case.id in
       let state = m.Mapping.states.(uid) in
+      let own_routes = routes_of uid in
       List.iter
         (fun f ->
           let src = f.Flow.src and dst = f.Flow.dst in
@@ -46,9 +74,9 @@ let verify (m : Mapping.t) use_cases =
           let matching =
             List.filter
               (fun r ->
-                r.Route.use_case = uid && r.Route.src_core = src && r.Route.dst_core = dst
+                r.Route.src_core = src && r.Route.dst_core = dst
                 && r.Route.service = service)
-              m.Mapping.routes
+              own_routes
           in
           here "route-exists"
             (List.length matching = 1)
@@ -127,7 +155,7 @@ let verify (m : Mapping.t) use_cases =
     (fun u ->
       let uid = u.Use_case.id in
       incr checks;
-      let routes = Mapping.routes_of_use_case m uid in
+      let routes = routes_of uid in
       if not (Turn_model.is_deadlock_free ~links:(Mesh.link_count mesh) ~routes) then
         fail ~use_case:uid ~src_core:(-1) ~dst_core:(-1) "deadlock"
           "channel dependency graph has a cycle")
@@ -136,7 +164,7 @@ let verify (m : Mapping.t) use_cases =
      occupancy patterns must be identical across members. *)
   List.iter
     (fun group ->
-      match group with
+      match List.filter selected group with
       | [] | [ _ ] -> ()
       | first :: rest ->
         let occupancy uc l =

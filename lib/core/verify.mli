@@ -22,8 +22,18 @@ type report = {
 
 val ok : report -> bool
 
-val verify : Mapping.t -> Noc_traffic.Use_case.t list -> report
-(** Checks, per use-case and flow: a route exists and is unique; the
+val verify : ?only:int list -> Mapping.t -> Noc_traffic.Use_case.t list -> report
+(** [only] restricts the per-use-case checks (flow routing, bandwidth,
+    latency, slot ownership, deadlock freedom) to the given use-case
+    ids, and the smooth-group occupancy check to the selected members
+    of each group; the global NI-capacity invariant always runs.  The
+    incremental remapper ({!Remap}) uses this to verify only the
+    freshly-routed components of a stitched design — a retained
+    component's routes and slot tables are byte-identical to the old
+    design's, so its check outcomes are inherited from the old report
+    instead of re-executed.
+
+    Checks, per use-case and flow: a route exists and is unique; the
     path is a connected switch chain matching the placement; reserved
     slots deliver at least the required bandwidth; the worst-case
     latency bound meets the constraint; the use-case's own slot tables

@@ -58,6 +58,16 @@ let infeasible ~freq ~slots ~topology =
    cold behaviour from that size onward. *)
 let solve ~config ~groups ~use_cases ~prune ~freq ~slots ~topology seed_opt =
   let cfg = { config with Config.freq_mhz = freq; slots; topology } in
+  (* Seeds inherited from a sweep over a different spec are only valid
+     when the core count still matches; a stale one is dropped, which
+     degrades the point to the exact cold behaviour. *)
+  let seed_opt =
+    match seed_opt with
+    | Some s
+      when Array.length s.placement <> (List.hd use_cases).Noc_traffic.Use_case.cores ->
+      None
+    | s -> s
+  in
   (* One cache handle per point: the problem digest is computed once
      and shared by every size attempt below. *)
   let cache = Noc_core.Mapping_cache.design_cache ~config:cfg ~groups use_cases in
@@ -132,8 +142,8 @@ let solve ~config ~groups ~use_cases ~prune ~freq ~slots ~topology seed_opt =
     in
     below smaller)
 
-let explore ?(axes = default_axes) ?jobs ?(warm = true) ?(prune = true) ~config ~groups
-    use_cases =
+let explore_seeded ?(axes = default_axes) ?jobs ?(warm = true) ?(prune = true) ?inherited
+    ~config ~groups use_cases =
   let topos = Array.of_list axes.topologies in
   let slot_axis = Array.of_list (List.sort compare axes.slot_counts) in
   let freq_axis = Array.of_list (List.sort compare axes.frequencies) in
@@ -141,6 +151,14 @@ let explore ?(axes = default_axes) ?jobs ?(warm = true) ?(prune = true) ~config 
   let idx ti si fi = ((ti * ns) + si) * nf + fi in
   let results = Array.make (nt * ns * nf) None in
   let seeds : seed option array = Array.make (nt * ns * nf) None in
+  (* Seeds carried over from a previous sweep of the same axes (a
+     churned spec of the same SoC): consulted only when this sweep has
+     no solved neighbour yet, i.e. the first wave. *)
+  let inherited_for cell =
+    match inherited with
+    | Some arr when cell < Array.length arr -> arr.(cell)
+    | _ -> None
+  in
   (* Nearest already-solved neighbour of (ti, si, fi): same topology,
      smallest slot distance, then smallest frequency distance.  Only
      earlier waves are consulted, so the choice — and with it the whole
@@ -158,7 +176,7 @@ let explore ?(axes = default_axes) ?jobs ?(warm = true) ?(prune = true) ~config 
         | None -> ()
       done
     done;
-    Option.map snd !best
+    match !best with Some (_, seed) -> Some seed | None -> inherited_for (idx ti si fi)
   in
   (* Waves along the frequency axis: every (topology, slots) pair of
      one frequency runs concurrently; later waves warm-start from the
@@ -185,13 +203,19 @@ let explore ?(axes = default_axes) ?jobs ?(warm = true) ?(prune = true) ~config 
         seeds.(idx ti si fi) <- seed)
       tasks solved
   done;
-  List.concat_map
-    (fun ti ->
-      List.concat_map
-        (fun si ->
-          List.map (fun fi -> Option.get results.(idx ti si fi)) (List.init nf Fun.id))
-        (List.init ns Fun.id))
-    (List.init nt Fun.id)
+  let points =
+    List.concat_map
+      (fun ti ->
+        List.concat_map
+          (fun si ->
+            List.map (fun fi -> Option.get results.(idx ti si fi)) (List.init nf Fun.id))
+          (List.init ns Fun.id))
+      (List.init nt Fun.id)
+  in
+  (points, seeds)
+
+let explore ?axes ?jobs ?warm ?prune ~config ~groups use_cases =
+  fst (explore_seeded ?axes ?jobs ?warm ?prune ~config ~groups use_cases)
 
 let dominates a b =
   (* a dominates b in (area, power) *)

@@ -42,6 +42,35 @@ type point = {
   start : start;                    (** which path produced the result *)
 }
 
+type seed
+(** A solved point's reusable state (mesh dimensions and placement),
+    opaque to callers; an array of them indexed like the point list
+    carries warm starts from one sweep into the next. *)
+
+val explore_seeded :
+  ?axes:axes ->
+  ?jobs:int ->
+  ?warm:bool ->
+  ?prune:bool ->
+  ?inherited:seed option array ->
+  config:Noc_arch.Noc_config.t ->
+  groups:int list list ->
+  Noc_traffic.Use_case.t list ->
+  point list * seed option array
+(** Like {!explore}, additionally returning the per-point seeds so a
+    sweep over a spec {e family} can churn instead of restarting: pass
+    one run's seeds as the next run's [inherited] (same [axes]!) and
+    the first wave of the new sweep warm-starts from the previous
+    spec's placements instead of running cold.  A seed whose placement
+    no longer matches the new spec's core count is ignored, and a
+    warm retry that fails degrades to the exact cold search, so the
+    feasibility and switch counts of every point are unchanged —
+    inheritance only saves work.  The seed array is positional
+    ([topology-major, then slots, then frequency]); with different
+    axes the warm starts would be taken from the wrong neighbourhood
+    (still sound, just useless), so reuse arrays only across sweeps
+    with identical axes. *)
+
 val explore :
   ?axes:axes ->
   ?jobs:int ->

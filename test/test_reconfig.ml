@@ -1,0 +1,93 @@
+(* Dedicated Reconfig coverage: smooth-group pairs cost nothing by
+   construction (the shared configuration is the point of grouping),
+   switching costs are symmetric in the pair, and pair rejects
+   out-of-range or degenerate ids. *)
+
+module DF = Noc_core.Design_flow
+module Reconfig = Noc_core.Reconfig
+module Syn = Noc_benchkit.Synthetic
+
+let small_params = { Syn.spread_params with Syn.cores = 8; flows_lo = 3; flows_hi = 8 }
+
+let design ?(smooth = []) ~seed n =
+  let ucs = Syn.generate ~seed ~params:small_params ~use_cases:n in
+  let spec = { (DF.spec_of_use_cases ~name:"reconfig" ucs) with DF.smooth } in
+  match DF.run spec with
+  | Ok d -> Some d.DF.mapping
+  | Error _ -> None
+
+let prop_smooth_pairs_free =
+  QCheck.Test.make ~name:"smooth pair: zero slot writes, zero path changes" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      match design ~smooth:[ (0, 1) ] ~seed 3 with
+      | None -> QCheck.assume_fail () (* smooth grouping made this seed infeasible *)
+      | Some m ->
+        let c = Reconfig.pair m ~from_uc:0 ~to_uc:1 in
+        c.Reconfig.smooth
+        && c.Reconfig.slot_writes = 0
+        && c.Reconfig.paths_changed = 0
+        && c.Reconfig.reconfiguration_ns = 0.0)
+
+let prop_costs_symmetric =
+  QCheck.Test.make ~name:"pair costs are symmetric in the pair" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      match design ~seed 3 with
+      | None -> QCheck.assume_fail ()
+      | Some m ->
+        List.for_all
+          (fun (a, b) ->
+            let f = Reconfig.pair m ~from_uc:a ~to_uc:b in
+            let r = Reconfig.pair m ~from_uc:b ~to_uc:a in
+            f.Reconfig.from_uc = a && f.Reconfig.to_uc = b && r.Reconfig.from_uc = b
+            && r.Reconfig.to_uc = a
+            && f.Reconfig.smooth = r.Reconfig.smooth
+            && f.Reconfig.paths_changed = r.Reconfig.paths_changed
+            && f.Reconfig.shared_paths = r.Reconfig.shared_paths
+            && f.Reconfig.slot_writes = r.Reconfig.slot_writes
+            && f.Reconfig.reconfiguration_ns = r.Reconfig.reconfiguration_ns)
+          [ (0, 1); (0, 2); (1, 2) ])
+
+let test_pair_raises () =
+  let m =
+    match design ~seed:7 2 with Some m -> m | None -> Alcotest.fail "seed 7 must map"
+  in
+  let raises name f =
+    match f () with
+    | (_ : Reconfig.cost) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  raises "negative from" (fun () -> Reconfig.pair m ~from_uc:(-1) ~to_uc:0);
+  raises "to out of range" (fun () -> Reconfig.pair m ~from_uc:0 ~to_uc:2);
+  raises "from out of range" (fun () -> Reconfig.pair m ~from_uc:2 ~to_uc:0);
+  raises "equal ids" (fun () -> Reconfig.pair m ~from_uc:1 ~to_uc:1)
+
+let test_analyze_matches_pair () =
+  let m =
+    match design ~smooth:[ (0, 1) ] ~seed:11 3 with
+    | Some m -> m
+    | None -> Alcotest.fail "seed 11 must map"
+  in
+  let costs = Reconfig.analyze m in
+  Alcotest.(check int) "one cost per unordered pair" 3 (List.length costs);
+  List.iter
+    (fun (c : Reconfig.cost) ->
+      Alcotest.(check bool) "analyze orders from < to" true (c.Reconfig.from_uc < c.Reconfig.to_uc);
+      let direct = Reconfig.pair m ~from_uc:c.Reconfig.from_uc ~to_uc:c.Reconfig.to_uc in
+      Alcotest.(check int) "slot writes agree" direct.Reconfig.slot_writes c.Reconfig.slot_writes)
+    costs
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "reconfig"
+    [
+      ( "reconfig",
+        [
+          qcheck prop_smooth_pairs_free;
+          qcheck prop_costs_symmetric;
+          Alcotest.test_case "pair raises on bad ids" `Quick test_pair_raises;
+          Alcotest.test_case "analyze agrees with pair" `Quick test_analyze_matches_pair;
+        ] );
+    ]
