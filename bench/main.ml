@@ -235,6 +235,32 @@ let bench_remap_full =
              match DF.run spec with Ok _ -> () | Error e -> failwith e)
            deltas))
 
+(* The observability rows behind this PR's acceptance criterion: the
+   same D1 design once with tracing off (the disabled instrumentation
+   is a single atomic load per span site) and once fully traced (the
+   buffers are reset each iteration so they do not grow across runs),
+   plus the guard check itself in isolation.  Compare the first two
+   rows across PRs: they should stay within noise of each other. *)
+let bench_obs =
+  let ucs = SD.d1 () in
+  Test.make_grouped ~name:"obs"
+    [
+      Test.make ~name:"design-D1-untraced" (Staged.stage (fun () -> ignore (must_map ucs)));
+      Test.make ~name:"design-D1-traced"
+        (Staged.stage (fun () ->
+             Noc_obs.Tracer.set_enabled true;
+             Fun.protect
+               ~finally:(fun () ->
+                 Noc_obs.Tracer.set_enabled false;
+                 Noc_obs.Tracer.reset ())
+               (fun () -> ignore (must_map ucs))));
+      Test.make ~name:"span-disabled-guard"
+        (Staged.stage (fun () ->
+             for _ = 1 to 1000 do
+               Noc_obs.Tracer.with_span "bench:noop" (fun () -> ())
+             done));
+    ]
+
 let bench_substrate =
   (* not a paper figure: the simulator and RTL backend, for context *)
   let ucs = SD.example1_use_cases in
@@ -257,7 +283,8 @@ let suite =
       bench_fig6a; bench_fig6b; bench_fig6c; bench_s62; bench_fig7a; bench_fig7b; bench_fig7c;
       bench_sweep_pareto_grid; bench_sweep_lint_pruned; bench_sweep_lint_noprune;
       bench_sweep_explore_cache_cold; bench_sweep_explore_cache_warm;
-      bench_sweep_min_freq; bench_remap_incremental; bench_remap_full; bench_substrate;
+      bench_sweep_min_freq; bench_remap_incremental; bench_remap_full; bench_obs;
+      bench_substrate;
     ]
 
 (* Per-benchmark mean ns, sorted by name — the stable shape behind both
@@ -329,9 +356,9 @@ let disk_tier_rows () =
         Printf.sprintf "%s explore d2 --cache-dir %s >/dev/null 2>&1" (Filename.quote exe)
           (Filename.quote dir)
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Noc_obs.Clock.wall () in
       let rc = Sys.command cmd in
-      (rc, (Unix.gettimeofday () -. t0) *. 1e9)
+      (rc, (Noc_obs.Clock.wall () -. t0) *. 1e9)
     in
     let rc_cold, cold_ns = run () in
     let rc_warm, warm_ns = run () in
@@ -371,7 +398,18 @@ let write_json rows =
       ("cache:evictions", float_of_int s.evictions);
     ]
   in
-  let rows = rows @ counters @ disk_tier_rows () in
+  (* The unified observability registry, accumulated over the whole
+     suite: attempt/prune/pool-steal counts alongside the timings, so
+     the trajectory shows how much work the measured runs actually did.
+     Nonzero counters only — a counter at zero is just a registered
+     name. *)
+  let obs_rows =
+    let snap = Noc_obs.Metrics.snapshot () in
+    List.filter_map
+      (fun (n, v) -> if v = 0 then None else Some ("obs:" ^ n, float_of_int v))
+      snap.Noc_obs.Metrics.counters
+  in
+  let rows = rows @ counters @ obs_rows @ disk_tier_rows () in
   Out_channel.with_open_text bench_json_file (fun oc ->
       output_string oc "{\n";
       List.iteri

@@ -104,6 +104,45 @@ let apply_cache no_cache cache_dir =
   if no_cache then Noc_core.Mapping_cache.set_enabled false
   else Option.iter (fun d -> Noc_core.Mapping_cache.set_dir (Some d)) cache_dir
 
+(* --- observability -------------------------------------------------------- *)
+
+module Tracer = Noc_obs.Tracer
+module Metrics = Noc_obs.Metrics
+
+let trace_arg =
+  let doc =
+    "Record a span trace of this run and write it to $(docv) as Chrome trace_event JSON \
+     (load it at ui.perfetto.dev or chrome://tracing).  Tracing is passive: the designed \
+     NoC and every export are byte-identical to an untraced run."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the process-wide metrics registry (counters, gauges, span histograms) to $(docv) \
+     as JSON when the command exits."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Files are written from [at_exit] so a command that [exit]s early (lint's
+   diagnostic exit codes, a cmdliner error path) still flushes what it saw. *)
+let apply_obs trace metrics =
+  if trace <> None then Tracer.set_enabled true;
+  if trace <> None || metrics <> None then
+    at_exit (fun () ->
+        (match trace with
+        | Some file ->
+          Tracer.write_file file (Tracer.export_chrome ());
+          Printf.eprintf "trace: %d spans written to %s\n%!"
+            (List.length (Tracer.events ()))
+            file
+        | None -> ());
+        match metrics with
+        | Some file ->
+          Tracer.write_file file (Metrics.render_json (Metrics.snapshot ()));
+          Printf.eprintf "metrics: snapshot written to %s\n%!" file
+        | None -> ())
+
 let sequential_arg =
   let doc =
     "Search mesh sizes strictly one at a time instead of speculatively evaluating a window of \
@@ -193,9 +232,10 @@ let load_spec ~bench ~use_cases ~seed ~spec_file =
     | Error msg -> Error msg)
 
 let run_map bench use_cases seed freq slots nis xy refine sequential wc no_prune jobs vhdl
-    systemc spec_file no_cache cache_dir =
+    systemc spec_file no_cache cache_dir trace metrics =
   apply_jobs jobs;
   apply_cache no_cache cache_dir;
+  apply_obs trace metrics;
   match load_spec ~bench ~use_cases ~seed ~spec_file with
   | Error msg -> `Error (false, msg)
   | Ok spec -> (
@@ -225,7 +265,7 @@ let map_cmd =
       ret
         (const run_map $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
         $ xy_arg $ refine_arg $ sequential_arg $ wc_arg $ no_prune_arg $ jobs_arg $ vhdl_arg
-        $ systemc_arg $ spec_arg $ no_cache_arg $ cache_dir_arg))
+        $ systemc_arg $ spec_arg $ no_cache_arg $ cache_dir_arg $ trace_arg $ metrics_arg))
 
 (* --- experiments -------------------------------------------------------------- *)
 
@@ -233,9 +273,10 @@ let experiments_arg =
   let doc = "Which experiment to run: all, fig6a, fig6b, fig6c, s62, fig7a, fig7b, fig7c, ablations." in
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 
-let run_experiments which jobs no_cache cache_dir =
+let run_experiments which jobs no_cache cache_dir trace metrics =
   apply_jobs jobs;
   apply_cache no_cache cache_dir;
+  apply_obs trace metrics;
   let module E = Noc_benchkit.Experiments in
   match String.lowercase_ascii which with
   | "all" ->
@@ -252,7 +293,10 @@ let experiments_cmd =
   let doc = "Regenerate the paper's evaluation figures (Fig 6a-c, Sec 6.2, Fig 7a-c)." in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(ret (const run_experiments $ experiments_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg))
+    Term.(
+      ret
+        (const run_experiments $ experiments_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg
+       $ trace_arg $ metrics_arg))
 
 (* --- generate ------------------------------------------------------------------- *)
 
@@ -280,8 +324,10 @@ let duration_arg =
   let doc = "Simulation length in TDMA slots." in
   Arg.(value & opt int 3200 & info [ "duration" ] ~docv:"SLOTS" ~doc)
 
-let run_simulate bench use_cases seed freq slots nis xy duration spec_file no_cache cache_dir =
+let run_simulate bench use_cases seed freq slots nis xy duration spec_file no_cache cache_dir
+    trace metrics =
   apply_cache no_cache cache_dir;
+  apply_obs trace metrics;
   match load_spec ~bench ~use_cases ~seed ~spec_file with
   | Error msg -> `Error (false, msg)
   | Ok spec -> (
@@ -294,7 +340,12 @@ let run_simulate bench use_cases seed freq slots nis xy duration spec_file no_ca
       List.iter
         (fun u ->
           let routes = Mapping.routes_of_use_case m u.Use_case.id in
-          let res = Sim.simulate ~config ~routes ~duration_slots:duration in
+          let res =
+            Tracer.with_span ~cat:"sim"
+              ~args:[ ("use_case", Tracer.Str u.Use_case.name) ]
+              "simulate:use_case"
+              (fun () -> Sim.simulate ~config ~routes ~duration_slots:duration)
+          in
           Format.printf "%s: %s (%d connections, %d collisions)@." u.Use_case.name
             (if Sim.within_contract res then "contracts met" else "CONTRACT VIOLATION")
             (List.length res.Sim.conns) res.Sim.collisions)
@@ -308,7 +359,8 @@ let simulate_cmd =
     Term.(
       ret
         (const run_simulate $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg
-       $ nis_arg $ xy_arg $ duration_arg $ spec_arg $ no_cache_arg $ cache_dir_arg))
+       $ nis_arg $ xy_arg $ duration_arg $ spec_arg $ no_cache_arg $ cache_dir_arg $ trace_arg
+       $ metrics_arg))
 
 (* --- export ------------------------------------------------------------------------ *)
 
@@ -324,8 +376,10 @@ let dot_uc_arg =
   let doc = "Write use-case $(docv)'s configuration heat map as DOT to FILE.dot." in
   Arg.(value & opt (some int) None & info [ "dot-use-case" ] ~docv:"UC" ~doc)
 
-let run_export bench use_cases seed freq slots nis xy json dot dot_uc no_cache cache_dir =
+let run_export bench use_cases seed freq slots nis xy json dot dot_uc no_cache cache_dir trace
+    metrics =
   apply_cache no_cache cache_dir;
+  apply_obs trace metrics;
   match load_benchmark ~name:bench ~use_cases ~seed with
   | Error msg -> `Error (false, msg)
   | Ok ucs -> (
@@ -360,7 +414,8 @@ let export_cmd =
     Term.(
       ret
         (const run_export $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
-       $ xy_arg $ json_arg $ dot_arg $ dot_uc_arg $ no_cache_arg $ cache_dir_arg))
+       $ xy_arg $ json_arg $ dot_arg $ dot_uc_arg $ no_cache_arg $ cache_dir_arg $ trace_arg
+       $ metrics_arg))
 
 (* --- explore ------------------------------------------------------------------------ *)
 
@@ -400,13 +455,29 @@ let points_to_json points =
   in
   J.to_string ~indent:2 (J.Obj [ ("points", J.List (List.map point points)) ])
 
-let run_explore bench use_cases seed torus cold no_prune jobs json no_cache cache_dir =
+let run_explore bench use_cases seed torus cold no_prune jobs json spec_file no_cache cache_dir
+    trace metrics =
   apply_jobs jobs;
   apply_cache no_cache cache_dir;
-  match load_benchmark ~name:bench ~use_cases ~seed with
+  apply_obs trace metrics;
+  let problem =
+    match spec_file with
+    | Some _ -> (
+      (* A spec file may declare compound use-cases and flow groups; expand
+         it the same way the design flow does so the sweep sees them. *)
+      match load_spec ~bench ~use_cases ~seed ~spec_file with
+      | Ok spec ->
+        let all, _compounds, groups = DF.expand spec in
+        Ok (all, groups)
+      | Error msg -> Error msg)
+    | None -> (
+      match load_benchmark ~name:bench ~use_cases ~seed with
+      | Ok ucs -> Ok (ucs, List.mapi (fun i _ -> [ i ]) ucs)
+      | Error msg -> Error msg)
+  in
+  match problem with
   | Error msg -> `Error (false, msg)
-  | Ok ucs ->
-    let groups = List.mapi (fun i _ -> [ i ]) ucs in
+  | Ok (ucs, groups) ->
     let axes =
       let base = Noc_power.Design_space.default_axes in
       if torus then
@@ -431,12 +502,14 @@ let explore_cmd =
     Term.(
       ret
         (const run_explore $ bench_arg $ use_cases_arg $ seed_arg $ torus_axis_arg $ cold_arg
-       $ no_prune_arg $ jobs_arg $ explore_json_arg $ no_cache_arg $ cache_dir_arg))
+       $ no_prune_arg $ jobs_arg $ explore_json_arg $ spec_arg $ no_cache_arg $ cache_dir_arg
+       $ trace_arg $ metrics_arg))
 
 (* --- report ------------------------------------------------------------------------ *)
 
-let run_report bench use_cases seed freq slots nis xy spec_file no_cache cache_dir =
+let run_report bench use_cases seed freq slots nis xy spec_file no_cache cache_dir trace metrics =
   apply_cache no_cache cache_dir;
+  apply_obs trace metrics;
   match load_spec ~bench ~use_cases ~seed ~spec_file with
   | Error msg -> `Error (false, msg)
   | Ok spec -> (
@@ -454,7 +527,7 @@ let report_cmd =
     Term.(
       ret
         (const run_report $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
-       $ xy_arg $ spec_arg $ no_cache_arg $ cache_dir_arg))
+       $ xy_arg $ spec_arg $ no_cache_arg $ cache_dir_arg $ trace_arg $ metrics_arg))
 
 (* --- lint ------------------------------------------------------------------------ *)
 
@@ -466,8 +539,9 @@ let deep_arg =
   let doc = "Also run the full design flow and the post-mapping design passes." in
   Arg.(value & flag & info [ "deep" ] ~doc)
 
-let run_lint bench use_cases seed freq slots nis xy json deep jobs spec_file =
+let run_lint bench use_cases seed freq slots nis xy json deep jobs spec_file trace metrics =
   apply_jobs jobs;
+  apply_obs trace metrics;
   let config = make_config ~freq ~slots ~nis ~xy in
   let doc_res =
     match spec_file with
@@ -503,7 +577,7 @@ let lint_cmd =
     Term.(
       ret
         (const run_lint $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
-       $ xy_arg $ lint_json_arg $ deep_arg $ jobs_arg $ spec_arg))
+       $ xy_arg $ lint_json_arg $ deep_arg $ jobs_arg $ spec_arg $ trace_arg $ metrics_arg))
 
 (* --- cache ------------------------------------------------------------------------ *)
 
@@ -524,6 +598,7 @@ let run_cache action cache_dir =
     | `Stats ->
       let fingerprint = Noc_util.Build_info.fingerprint () in
       Format.printf "build: %s (current)@." (Noc_util.Build_info.describe ());
+      let totals = ref RC.zero_stats in
       (match RC.disk_summary ~dir with
       | [] -> Format.printf "store %s: empty@." dir
       | versions ->
@@ -535,12 +610,29 @@ let run_cache action cache_dir =
             match RC.read_persisted_stats ~dir ~version with
             | None -> ()
             | Some s ->
+              totals := RC.add_stats !totals s;
               Format.printf
                 "    cumulative: %d memory hits, %d disk hits, %d misses, %d stores, %d \
                  evictions, %d disk errors@."
                 s.RC.memory_hits s.RC.disk_hits s.RC.misses s.RC.stores s.RC.evictions
                 s.RC.disk_errors)
           versions);
+      (* Replay the cross-build totals into the unified metrics registry and
+         render them through it, so this report and `nocmap obs stats` speak
+         the same counter names. *)
+      let s = !totals in
+      List.iter
+        (fun (name, v) -> if v > 0 then Metrics.incr ~by:v (Metrics.counter name))
+        [
+          ("cache.memory_hits", s.RC.memory_hits);
+          ("cache.disk_hits", s.RC.disk_hits);
+          ("cache.misses", s.RC.misses);
+          ("cache.stores", s.RC.stores);
+          ("cache.evictions", s.RC.evictions);
+          ("cache.disk_errors", s.RC.disk_errors);
+        ];
+      Format.printf "unified registry view (all versions):@.";
+      print_string (Metrics.render_text (Metrics.snapshot ()));
       `Ok ())
 
 let cache_cmd =
@@ -574,9 +666,10 @@ let remap_json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let run_remap from_file to_file reference freq slots nis xy sequential no_prune jobs json
-    no_cache cache_dir =
+    no_cache cache_dir trace metrics =
   apply_jobs jobs;
   apply_cache no_cache cache_dir;
+  apply_obs trace metrics;
   let parse file =
     match Noc_core.Spec_parser.parse_file file with
     | Ok spec -> Ok spec
@@ -628,7 +721,315 @@ let remap_cmd =
       ret
         (const run_remap $ remap_from_arg $ remap_to_arg $ reference_arg $ freq_arg $ slots_arg
        $ nis_arg $ xy_arg $ sequential_arg $ no_prune_arg $ jobs_arg $ remap_json_arg
-       $ no_cache_arg $ cache_dir_arg))
+       $ no_cache_arg $ cache_dir_arg $ trace_arg $ metrics_arg))
+
+(* --- obs ------------------------------------------------------------------------- *)
+
+module J = Noc_export.Json
+
+let parse_json_file file =
+  match (try Ok (In_channel.with_open_bin file In_channel.input_all) with Sys_error msg -> Error msg)
+  with
+  | Error msg -> Error msg
+  | Ok text -> (
+    match J.parse text with
+    | Ok v -> Ok v
+    | Error msg -> Error (Printf.sprintf "%s: %s" file msg))
+
+(* Rebuild a [Metrics.snapshot] from a metrics JSON file, checking the
+   schema as it goes — this is also the metrics half of [obs validate]:
+   the three sections must be objects, counters non-negative integers,
+   and each histogram's min <= p50 <= p90 <= p99 <= max when non-empty. *)
+let snapshot_of_json v =
+  let ( let* ) = Result.bind in
+  let section name =
+    match J.member name v with
+    | Some (J.Obj fields) -> Ok fields
+    | Some _ -> Error (Printf.sprintf "\"%s\" must be an object" name)
+    | None -> Error (Printf.sprintf "missing \"%s\" object" name)
+  in
+  let* counter_fields = section "counters" in
+  let* gauge_fields = section "gauges" in
+  let* histogram_fields = section "histograms" in
+  let* counters =
+    List.fold_left
+      (fun acc (n, x) ->
+        let* acc = acc in
+        match x with
+        | J.Int i when i >= 0 -> Ok ((n, i) :: acc)
+        | _ -> Error (Printf.sprintf "counter \"%s\" must be a non-negative integer" n))
+      (Ok []) counter_fields
+  in
+  let* gauges =
+    List.fold_left
+      (fun acc (n, x) ->
+        let* acc = acc in
+        match J.to_float x with
+        | Some f -> Ok ((n, f) :: acc)
+        | None -> Error (Printf.sprintf "gauge \"%s\" must be a number" n))
+      (Ok []) gauge_fields
+  in
+  let* histograms =
+    List.fold_left
+      (fun acc (n, x) ->
+        let* acc = acc in
+        let field k =
+          match Option.bind (J.member k x) J.to_float with
+          | Some f -> Ok f
+          | None -> Error (Printf.sprintf "histogram \"%s\": missing numeric \"%s\"" n k)
+        in
+        let* count = field "count" in
+        let* sum = field "sum" in
+        let* mn = field "min" in
+        let* mx = field "max" in
+        let* p50 = field "p50" in
+        let* p90 = field "p90" in
+        let* p99 = field "p99" in
+        if not (Float.is_integer count && count >= 0.0) then
+          Error (Printf.sprintf "histogram \"%s\": \"count\" must be a non-negative integer" n)
+        else if count > 0.0 && not (mn <= p50 && p50 <= p90 && p90 <= p99 && p99 <= mx) then
+          Error (Printf.sprintf "histogram \"%s\": percentiles out of order" n)
+        else
+          Ok
+            (( n,
+               {
+                 Metrics.count = int_of_float count;
+                 sum;
+                 min = mn;
+                 max = mx;
+                 p50;
+                 p90;
+                 p99;
+               } )
+            :: acc))
+      (Ok []) histogram_fields
+  in
+  Ok
+    {
+      Metrics.counters = List.rev counters;
+      gauges = List.rev gauges;
+      histograms = List.rev histograms;
+    }
+
+(* Chrome trace_event well-formedness: a [traceEvents] list whose span
+   events carry name/ph/pid/tid and non-negative microsecond ts/dur,
+   listed in non-decreasing [ts] order, and properly nested per thread
+   (two spans on one tid are either disjoint or one contains the other).
+   Returns the span names seen, for [--expect-span]. *)
+let validate_trace v =
+  let ( let* ) = Result.bind in
+  let* events =
+    match J.member "traceEvents" v with
+    | Some (J.List l) -> Ok l
+    | _ -> Error "missing \"traceEvents\" list"
+  in
+  let str k e = match J.member k e with Some (J.String s) -> Some s | _ -> None in
+  let num k e = Option.bind (J.member k e) J.to_float in
+  let eps = 5e-3 (* µs: tolerance for float rounding of ts/dur *) in
+  let rec check i last_ts stacks spans names = function
+    | [] ->
+      if spans = 0 then Error "trace contains no complete (ph=X) span events" else Ok names
+    | e :: rest ->
+      let where = Printf.sprintf "traceEvents[%d]" i in
+      let* name =
+        match str "name" e with Some n -> Ok n | None -> Error (where ^ ": missing \"name\"")
+      in
+      let* ph =
+        match str "ph" e with Some p -> Ok p | None -> Error (where ^ ": missing \"ph\"")
+      in
+      (match ph with
+      | "M" -> check (i + 1) last_ts stacks spans names rest
+      | "X" ->
+        let* ts =
+          match num "ts" e with
+          | Some t when t >= 0.0 -> Ok t
+          | _ -> Error (where ^ ": \"ts\" must be a non-negative number")
+        in
+        let* dur =
+          match num "dur" e with
+          | Some d when d >= 0.0 -> Ok d
+          | _ -> Error (where ^ ": \"dur\" must be a non-negative number")
+        in
+        let* tid =
+          match J.member "tid" e with
+          | Some (J.Int t) -> Ok t
+          | _ -> Error (where ^ ": \"tid\" must be an integer")
+        in
+        let* () =
+          if J.member "pid" e = None then Error (where ^ ": missing \"pid\"") else Ok ()
+        in
+        let* () =
+          if ts +. eps < last_ts then
+            Error (Printf.sprintf "%s: timestamps not sorted (%g after %g)" where ts last_ts)
+          else Ok ()
+        in
+        let stop = ts +. dur in
+        let stack = Option.value (List.assoc_opt tid stacks) ~default:[] in
+        let rec pop = function top :: below when top <= ts +. eps -> pop below | s -> s in
+        let stack = pop stack in
+        let* () =
+          match stack with
+          | top :: _ when stop > top +. eps ->
+            Error
+              (Printf.sprintf "%s: span \"%s\" overlaps its enclosing span on tid %d" where
+                 name tid)
+          | _ -> Ok ()
+        in
+        let stacks = (tid, stop :: stack) :: List.remove_assoc tid stacks in
+        check (i + 1) ts stacks (spans + 1) (name :: names) rest
+      | other -> Error (Printf.sprintf "%s: unsupported phase \"%s\"" where other))
+  in
+  check 0 neg_infinity [] 0 [] events
+
+let obs_trace_arg =
+  let doc = "The trace file to read." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let obs_metrics_arg =
+  let doc = "The metrics file to read." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let obs_json_arg =
+  let doc = "Emit the snapshot as JSON instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let expect_span_arg =
+  let doc = "Fail validation unless a span named $(docv) appears in the trace (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "expect-span" ] ~docv:"NAME" ~doc)
+
+let run_obs_stats metrics_file json =
+  let snap =
+    match metrics_file with
+    | None -> Ok (Metrics.snapshot ())
+    | Some file -> (
+      match parse_json_file file with
+      | Error msg -> Error msg
+      | Ok v -> (
+        match snapshot_of_json v with
+        | Ok s -> Ok s
+        | Error msg -> Error (Printf.sprintf "%s: %s" file msg)))
+  in
+  match snap with
+  | Error msg -> `Error (false, msg)
+  | Ok snap ->
+    print_string (if json then Metrics.render_json snap else Metrics.render_text snap);
+    `Ok ()
+
+let run_obs_summary trace_file =
+  match trace_file with
+  | None -> `Error (false, "obs summary requires --trace FILE")
+  | Some file -> (
+    match parse_json_file file with
+    | Error msg -> `Error (false, msg)
+    | Ok v -> (
+      match validate_trace v with
+      | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+      | Ok _ ->
+        let events = match J.member "traceEvents" v with Some (J.List l) -> l | _ -> [] in
+        let tbl = Hashtbl.create 32 in
+        List.iter
+          (fun e ->
+            match J.member "ph" e with
+            | Some (J.String "X") ->
+              let name =
+                match J.member "name" e with Some (J.String n) -> n | _ -> "?"
+              in
+              let dur_ms =
+                Option.value (Option.bind (J.member "dur" e) J.to_float) ~default:0.0 /. 1e3
+              in
+              let cpu_ms =
+                Option.value
+                  (Option.bind (Option.bind (J.member "args" e) (J.member "cpu_ms")) J.to_float)
+                  ~default:0.0
+              in
+              let c, tot, mx, cpu =
+                Option.value (Hashtbl.find_opt tbl name) ~default:(0, 0.0, 0.0, 0.0)
+              in
+              Hashtbl.replace tbl name
+                (c + 1, tot +. dur_ms, Float.max mx dur_ms, cpu +. cpu_ms)
+            | _ -> ())
+          events;
+        let rows = Hashtbl.fold (fun n r acc -> (n, r) :: acc) tbl [] in
+        let rows =
+          List.sort (fun (_, (_, a, _, _)) (_, (_, b, _, _)) -> compare (b : float) a) rows
+        in
+        Printf.printf "%-28s %8s %12s %12s %12s %12s\n" "span" "count" "total ms" "mean ms"
+          "max ms" "cpu ms";
+        List.iter
+          (fun (n, (c, tot, mx, cpu)) ->
+            Printf.printf "%-28s %8d %12.3f %12.3f %12.3f %12.3f\n" n c tot
+              (tot /. float_of_int c) mx cpu)
+          rows;
+        `Ok ()))
+
+let run_obs_validate trace_file metrics_file expect =
+  if trace_file = None && metrics_file = None then
+    `Error (false, "obs validate needs --trace and/or --metrics")
+  else
+    let trace_res =
+      match trace_file with
+      | None -> Ok ()
+      | Some file -> (
+        match parse_json_file file with
+        | Error msg -> Error msg
+        | Ok v -> (
+          match validate_trace v with
+          | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+          | Ok names ->
+            let missing = List.filter (fun n -> not (List.mem n names)) expect in
+            if missing <> [] then
+              Error
+                (Printf.sprintf "%s: expected span(s) not found: %s" file
+                   (String.concat ", " missing))
+            else begin
+              Printf.printf "trace %s: OK (%d spans)\n" file (List.length names);
+              Ok ()
+            end))
+    in
+    let metrics_res =
+      match metrics_file with
+      | None -> Ok ()
+      | Some file -> (
+        match parse_json_file file with
+        | Error msg -> Error msg
+        | Ok v -> (
+          match snapshot_of_json v with
+          | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+          | Ok snap ->
+            Printf.printf "metrics %s: OK (%d counters, %d gauges, %d histograms)\n" file
+              (List.length snap.Metrics.counters)
+              (List.length snap.Metrics.gauges)
+              (List.length snap.Metrics.histograms);
+            Ok ()))
+    in
+    match (trace_res, metrics_res) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok (), Ok () -> `Ok ()
+
+let obs_stats_cmd =
+  let doc =
+    "Print a metrics snapshot: from a $(b,--metrics) file written by a traced run, or the live \
+     registry of this process when no file is given."
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run_obs_stats $ obs_metrics_arg $ obs_json_arg))
+
+let obs_summary_cmd =
+  let doc = "Aggregate a trace file per span name: count, total/mean/max wall ms, CPU ms." in
+  Cmd.v (Cmd.info "summary" ~doc) Term.(ret (const run_obs_summary $ obs_trace_arg))
+
+let obs_validate_cmd =
+  let doc =
+    "Check observability artifacts: the trace must be well-formed Chrome trace_event JSON \
+     (sorted timestamps, proper per-thread span nesting) and the metrics file must match the \
+     registry schema.  Exits non-zero on any violation."
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(ret (const run_obs_validate $ obs_trace_arg $ obs_metrics_arg $ expect_span_arg))
+
+let obs_cmd =
+  let doc = "Inspect and validate observability artifacts ($(b,--trace) / $(b,--metrics) files)." in
+  Cmd.group (Cmd.info "obs" ~doc) [ obs_stats_cmd; obs_summary_cmd; obs_validate_cmd ]
 
 (* --- main ------------------------------------------------------------------------ *)
 
@@ -649,4 +1050,5 @@ let () =
             lint_cmd;
             remap_cmd;
             cache_cmd;
+            obs_cmd;
           ]))

@@ -20,15 +20,12 @@ type comparison_row = {
   ratio : float option;
 }
 
-(* Wall clock first: [Sys.time] is CPU time summed across every domain
-   of the process, so under the pool it over-reports elapsed time by up
-   to the worker count.  Both are kept — wall is what the user waits
-   for, CPU is what the machine burns. *)
-let timed f =
-  let w0 = Unix.gettimeofday () in
-  let c0 = Sys.time () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. w0, Sys.time () -. c0)
+(* Wall and CPU attribution both come from the unified observability
+   clock.  CPU time is summed across every domain of the process, so
+   under the pool it over-reports elapsed time by up to the worker
+   count.  Both are kept — wall is what the user waits for, CPU is
+   what the machine burns. *)
+let timed = Noc_obs.Clock.timed
 
 (* Per-spec preparation hoisted out of the timed mapping runs: compound
    generation, switching-group computation and the WC baseline's
@@ -354,14 +351,20 @@ let print_s62 () =
     ~paper_note:"paper: ours maps onto 2x2; WC fails even on a 20x20 mesh"
     (forty_use_cases ())
 
-let print_one = function
-  | "fig6a" -> Ok (print_fig6a ())
-  | "fig6b" -> Ok (print_fig6b ())
-  | "fig6c" -> Ok (print_fig6c ())
-  | "s62" -> Ok (print_s62 ())
-  | "fig7a" -> Ok (print_fig7a (fig7a ()))
-  | "fig7b" -> Ok (print_fig7b (fig7b ()))
-  | "fig7c" -> Ok (print_fig7c (fig7c ()))
+let print_one name =
+  (* One span per figure: a traced `nocmap experiments` run shows the
+     per-figure wall/CPU split directly in the timeline. *)
+  let spanned thunk =
+    Ok (Noc_obs.Tracer.with_span ~cat:"experiment" ("experiment:" ^ name) thunk)
+  in
+  match name with
+  | "fig6a" -> spanned print_fig6a
+  | "fig6b" -> spanned print_fig6b
+  | "fig6c" -> spanned print_fig6c
+  | "s62" -> spanned print_s62
+  | "fig7a" -> spanned (fun () -> print_fig7a (fig7a ()))
+  | "fig7b" -> spanned (fun () -> print_fig7b (fig7b ()))
+  | "fig7c" -> spanned (fun () -> print_fig7c (fig7c ()))
   | other -> Error (Printf.sprintf "unknown experiment '%s'" other)
 
 let print_statistics rows =

@@ -1,5 +1,10 @@
 module Use_case = Noc_traffic.Use_case
 module Mesh = Noc_arch.Mesh
+module Tracer = Noc_obs.Tracer
+module Metrics = Noc_obs.Metrics
+
+let m_runs = Metrics.counter "flow.runs"
+let m_verify_checks = Metrics.counter "verify.checks"
 
 type spec = {
   name : string;
@@ -37,24 +42,41 @@ let package ?refinement ~spec ~all_use_cases ~compounds ~groups ~report mapping 
   { spec; all_use_cases; compounds; groups; mapping; report; refinement }
 
 let assemble ?refinement ~spec ~all_use_cases ~compounds ~groups mapping =
-  package ?refinement ~spec ~all_use_cases ~compounds ~groups
-    ~report:(Verify.verify mapping all_use_cases) mapping
+  let report =
+    Tracer.with_span ~cat:"flow" "phase:verify" (fun () -> Verify.verify mapping all_use_cases)
+  in
+  Metrics.incr ~by:report.Verify.checks m_verify_checks;
+  package ?refinement ~spec ~all_use_cases ~compounds ~groups ~report mapping
 
 let run ?config ?parallel ?prune ?(refine = false) spec =
   match spec.use_cases with
   | [] -> Error "design flow: no use-cases"
-  | _ -> (
-    let all, compounds, groups = expand spec in
-    (* Phase 3: unified mapping and configuration. *)
-    let cache = Mapping_cache.design_cache ?config ~groups all in
-    match Mapping.map_design ?config ?parallel ?prune ?cache ~groups all with
-    | Error failure -> Error (Format.asprintf "%s: %a" spec.name Mapping.pp_failure failure)
-    | Ok mapping ->
-      let refinement = if refine then Some (Refine.anneal mapping all) else None in
-      let mapping =
-        match refinement with Some o -> o.Refine.result | None -> mapping
-      in
-      Ok (assemble ?refinement ~spec ~all_use_cases:all ~compounds ~groups mapping))
+  | _ ->
+    Metrics.incr m_runs;
+    Tracer.with_span ~cat:"flow"
+      ~args:[ ("design", Tracer.Str spec.name) ]
+      "design_flow"
+      (fun () ->
+        let all, compounds, groups =
+          Tracer.with_span ~cat:"flow" "phase:expand" (fun () -> expand spec)
+        in
+        (* Phase 3: unified mapping and configuration. *)
+        let cache = Mapping_cache.design_cache ?config ~groups all in
+        match
+          Tracer.with_span ~cat:"flow" "phase:map" (fun () ->
+              Mapping.map_design ?config ?parallel ?prune ?cache ~groups all)
+        with
+        | Error failure -> Error (Format.asprintf "%s: %a" spec.name Mapping.pp_failure failure)
+        | Ok mapping ->
+          let refinement =
+            if refine then
+              Some (Tracer.with_span ~cat:"flow" "phase:refine" (fun () -> Refine.anneal mapping all))
+            else None
+          in
+          let mapping =
+            match refinement with Some o -> o.Refine.result | None -> mapping
+          in
+          Ok (assemble ?refinement ~spec ~all_use_cases:all ~compounds ~groups mapping))
 
 let switch_count t = Mapping.switch_count t.mapping
 

@@ -516,8 +516,19 @@ type attempt_cache = {
   record_refuted : width:int -> height:int -> string -> unit;
 }
 
+module Tracer = Noc_obs.Tracer
+module Metrics = Noc_obs.Metrics
+
+let m_designs = Metrics.counter "map.designs"
+let m_attempts = Metrics.counter "map.attempts"
+let m_attempt_failures = Metrics.counter "map.attempt_failures"
+let m_attempt_cache_hits = Metrics.counter "map.attempt_cache_hits"
+let m_pruned = Metrics.counter "map.pruned"
+let m_pruned_cached = Metrics.counter "map.pruned_cached"
+
 let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
     ?(prune = true) ?cache ~groups use_cases =
+  Metrics.incr m_designs;
   validate_inputs ~groups use_cases;
   (match Config.validate config with Ok () -> () | Error m -> invalid_arg m);
   let sizes = Mesh.growth_sequence ~max_dim:config.Config.max_mesh_dim in
@@ -542,7 +553,9 @@ let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
       List.fold_left
         (fun (pruned, kept) (w, h) ->
           match cached_refutation (w, h) with
-          | Some why -> ((w, h, why) :: pruned, kept)
+          | Some why ->
+            Metrics.incr m_pruned_cached;
+            ((w, h, why) :: pruned, kept)
           | None ->
             if not prune then (pruned, (w, h) :: kept)
             else (
@@ -550,6 +563,7 @@ let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
               | Some why ->
                 let why = "statically infeasible: " ^ why in
                 record_refutation (w, h) why;
+                Metrics.incr m_pruned;
                 ((w, h, why) :: pruned, kept)
               | None -> (pruned, (w, h) :: kept)))
         ([], []) sizes
@@ -558,13 +572,29 @@ let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
   in
   let attempt (w, h) =
     match (match cache with Some c -> c.lookup ~width:w ~height:h | None -> None) with
-    | Some (Ok t) -> Ok t
-    | Some (Error msg) -> Error (w, h, msg)
+    | Some (Ok t) ->
+      Metrics.incr m_attempt_cache_hits;
+      Ok t
+    | Some (Error msg) ->
+      Metrics.incr m_attempt_cache_hits;
+      Error (w, h, msg)
     | None -> (
+      Metrics.incr m_attempts;
       let mesh = Mesh.create_kind ~kind:config.Config.topology ~width:w ~height:h in
-      let result = map_attempt ~engine ~config ~mesh ~groups use_cases in
+      let solve () = map_attempt ~engine ~config ~mesh ~groups use_cases in
+      let result =
+        if Tracer.enabled () then
+          Tracer.with_span ~cat:"map"
+            ~args:[ ("width", Tracer.Int w); ("height", Tracer.Int h) ]
+            "map:attempt" solve
+        else solve ()
+      in
       (match cache with Some c -> c.store ~width:w ~height:h result | None -> ());
-      match result with Ok t -> Ok t | Error compact_msg -> Error (w, h, compact_msg))
+      match result with
+      | Ok t -> Ok t
+      | Error compact_msg ->
+        Metrics.incr m_attempt_failures;
+        Error (w, h, compact_msg))
   in
   let rec sequential attempts = function
     | [] -> Error { attempts = List.rev attempts }
@@ -590,8 +620,20 @@ let map_design ?(config = Config.default) ?(engine = Indexed) ?(parallel = true)
       scan attempts results
   in
   let window = min (Noc_util.Domain_pool.effective_jobs ()) speculation_window in
-  if (not parallel) || window <= 1 then sequential pruned_rev sizes
-  else waves window pruned_rev sizes
+  let solve () =
+    if (not parallel) || window <= 1 then sequential pruned_rev sizes
+    else waves window pruned_rev sizes
+  in
+  if Tracer.enabled () then
+    Tracer.with_span ~cat:"map"
+      ~args:
+        [
+          ("use_cases", Tracer.Int (List.length use_cases));
+          ("groups", Tracer.Int (List.length groups));
+          ("pruned", Tracer.Int (List.length pruned_rev));
+        ]
+      "map_design" solve
+  else solve ()
 
 let pp_failure ppf { attempts } =
   Format.fprintf ppf "@[<v>mapping failed at every size:@ ";

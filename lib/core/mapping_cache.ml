@@ -6,8 +6,27 @@ module Result_cache = Noc_util.Result_cache
 
 (* --- the process-wide store --------------------------------------------- *)
 
-let store =
-  lazy (Result_cache.create ~version:(Noc_util.Build_info.fingerprint ()) ())
+(* Created on first use, but not through [lazy]: a parallel sweep's
+   first lookups arrive from several pool worker domains at once, and
+   concurrently forcing one lazy raises [CamlinternalLazy.Undefined].
+   Double-checked locking creates the store exactly once instead. *)
+let store_cell : Result_cache.t option Atomic.t = Atomic.make None
+let store_lock = Mutex.create ()
+
+let force_store () =
+  match Atomic.get store_cell with
+  | Some s -> s
+  | None ->
+    Mutex.lock store_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock store_lock)
+      (fun () ->
+        match Atomic.get store_cell with
+        | Some s -> s
+        | None ->
+          let s = Result_cache.create ~version:(Noc_util.Build_info.fingerprint ()) () in
+          Atomic.set store_cell (Some s);
+          s)
 
 let enabled_flag = Atomic.make true
 
@@ -17,15 +36,15 @@ let set_enabled on = Atomic.set enabled_flag on
 let at_exit_registered = Atomic.make false
 
 let set_dir d =
-  let s = Lazy.force store in
+  let s = force_store () in
   Result_cache.set_dir s d;
   if d <> None && not (Atomic.exchange at_exit_registered true) then
     at_exit (fun () -> Result_cache.persist_stats s)
 
-let dir () = if Lazy.is_val store then Result_cache.dir (Lazy.force store) else None
+let dir () = match Atomic.get store_cell with Some s -> Result_cache.dir s | None -> None
 
 let stats () =
-  if Lazy.is_val store then Result_cache.stats (Lazy.force store)
+  if Atomic.get store_cell <> None then Result_cache.stats (force_store ())
   else Result_cache.zero_stats
 
 
@@ -131,6 +150,10 @@ let copy_mapping (m : Mapping.t) =
     states = Array.map Resources.copy m.Mapping.states;
   }
 
+(* The decoded-value memo is a digest tier of its own: a hit here
+   skips the codec entirely, not just the solve. *)
+let m_decoded_hits = Noc_obs.Metrics.counter "cache.decoded_hits"
+
 let decoded : (string, Mapping.t) Hashtbl.t = Hashtbl.create 64
 let decoded_mutex = Mutex.create ()
 let decoded_capacity = 256
@@ -157,14 +180,16 @@ let decoded_clear () =
 
 let clear () =
   decoded_clear ();
-  Result_cache.clear (Lazy.force store)
+  Result_cache.clear (force_store ())
 
 let lookup_result s key =
   match Result_cache.find s key with
   | None -> None
   | Some text -> (
     match decoded_find key with
-    | Some m -> Some (Ok m)
+    | Some m ->
+      Noc_obs.Metrics.incr m_decoded_hits;
+      Some (Ok m)
     | None -> (
       match decode_result text with
       | Some (Ok m) ->
@@ -182,7 +207,7 @@ let store_result s key result =
 let cached key compute =
   if not (enabled ()) then compute ()
   else begin
-    let s = Lazy.force store in
+    let s = force_store () in
     match lookup_result s key with
     | Some result -> result
     | None ->
@@ -202,7 +227,7 @@ let refuted_key digest ~topology ~width ~height =
 let design_cache ?(config = Config.default) ?(engine = Mapping.Indexed) ~groups use_cases =
   if not (enabled ()) then None
   else begin
-    let s = Lazy.force store in
+    let s = force_store () in
     let digest = problem_digest ~config ~engine ~groups use_cases in
     let topology = config.Config.topology in
     Some

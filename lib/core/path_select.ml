@@ -15,6 +15,16 @@ type request = {
 let hop_weight = 1.0
 let util_weight = 4.0
 
+(* Routing is the hottest code in the repo, so it carries counters
+   only (striped atomic adds) — spans here would dominate the trace
+   and the timestamp calls would perturb the measurement. *)
+module Metrics = Noc_obs.Metrics
+
+let m_shared = Metrics.counter "route.shared"
+let m_be = Metrics.counter "route.be"
+let m_detours = Metrics.counter "route.detours"
+let m_failures = Metrics.counter "route.failures"
+
 let needed_slots state bw = Config.slots_for_bandwidth (Resources.config state) bw
 
 (* Link cost seen by a set of group members routing together: usable
@@ -168,10 +178,17 @@ let make_route ?(service = Route.Gt) ~use_case req links starts =
     slot_starts = starts;
   }
 
+let count_result r =
+  (match r with Error _ -> Metrics.incr m_failures | Ok _ -> ());
+  r
+
 let route_shared ?(passive = []) ?(use_masks = true) ~members () =
+  Metrics.incr m_shared;
   match members with
   | [] -> invalid_arg "Path_select.route_shared: no members"
   | (first_state, first_req) :: _ ->
+    count_result
+    @@
     let src = first_req.src_switch and dst = first_req.dst_switch in
     List.iter
       (fun (_, r) ->
@@ -260,6 +277,7 @@ let route_shared ?(passive = []) ?(use_masks = true) ~members () =
                 | None -> Error e
                 | Some l ->
                   excluded.(l) <- true;
+                  Metrics.incr m_detours;
                   attempt (tries + 1) e))
         in
         attempt 0 "no feasible path"
@@ -272,6 +290,9 @@ let route ~state req =
 let route_be ~state req =
   if Flow.is_guaranteed req.flow then
     invalid_arg "Path_select.route_be: guaranteed flow";
+  Metrics.incr m_be;
+  count_result
+  @@
   let src = req.src_switch and dst = req.dst_switch in
   let use_case = Resources.use_case state in
   if src = dst then Ok (make_route ~service:Route.Be ~use_case req [] [])

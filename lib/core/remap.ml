@@ -4,6 +4,16 @@ module Route = Noc_arch.Route
 module Flow = Noc_traffic.Flow
 module Use_case = Noc_traffic.Use_case
 
+module Tracer = Noc_obs.Tracer
+module Metrics = Noc_obs.Metrics
+
+let m_reused = Metrics.counter "remap.reused"
+let m_delta = Metrics.counter "remap.delta"
+let m_warm = Metrics.counter "remap.warm_placement"
+let m_regrown = Metrics.counter "remap.regrown"
+let m_failures = Metrics.counter "remap.failures"
+let m_dirty_groups = Metrics.counter "remap.dirty_groups"
+
 type mode = Incremental | Reference
 
 type path = Reused | Delta of int | Warm_placement | Regrown
@@ -143,7 +153,7 @@ let assemble_mapping ~(old_m : Mapping.t) ~n_new ~groups ~clean ~sub_results =
 
 (* --- the remap decision chain ------------------------------------------ *)
 
-let remap ?config ?(mode = Incremental) ?(parallel = true) ?(prune = true) ~old spec =
+let remap_decide ?config ?(mode = Incremental) ?(parallel = true) ?(prune = true) ~old spec =
   match spec.Design_flow.use_cases with
   | [] -> Error "remap: no use-cases"
   | first :: _ -> (
@@ -288,6 +298,30 @@ let remap ?config ?(mode = Incremental) ?(parallel = true) ?(prune = true) ~old 
         in
         if acceptable o.design then Ok o else warm ()
     end)
+
+(* Decision-path counters are charged on the final verdict only: the
+   chain may build a spliced candidate and then discard it at the
+   [acceptable] gate, and a discarded candidate is not an outcome. *)
+let remap ?config ?mode ?parallel ?prune ~old spec =
+  let decide () = remap_decide ?config ?mode ?parallel ?prune ~old spec in
+  let result =
+    if Tracer.enabled () then
+      Tracer.with_span ~cat:"remap"
+        ~args:[ ("to", Tracer.Str spec.Design_flow.name) ]
+        "remap" decide
+    else decide ()
+  in
+  (match result with
+  | Ok o ->
+    Metrics.incr
+      (match o.path with
+      | Reused -> m_reused
+      | Delta _ -> m_delta
+      | Warm_placement -> m_warm
+      | Regrown -> m_regrown);
+    Metrics.incr ~by:(List.length o.delta.dirty) m_dirty_groups
+  | Error _ -> Metrics.incr m_failures);
+  result
 
 let churn ?config ?mode ?parallel ?prune = function
   | [] -> Error "churn: empty spec sequence"

@@ -211,3 +211,197 @@ let validate text =
     skip_ws ();
     if !pos <> n then Error (Printf.sprintf "trailing content at offset %d" !pos) else Ok ()
   with Bad msg -> Error msg
+
+(* --- parsing ------------------------------------------------------------- *)
+
+(* Same grammar as [validate], but building the value: the CLI reads
+   back its own exports (trace/metrics files, explore points) through
+   this.  Numbers parse as [Int] when they are integral int literals
+   and as [Float] otherwise, matching what [to_string] emits. *)
+let parse text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let error msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> error (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word = String.iter (fun c -> expect c) word in
+  let hex_digit () =
+    match peek () with
+    | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+    | _ -> error "bad unicode escape"
+  in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> error "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+        | Some '/' -> Buffer.add_char buf '/'; advance ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance ()
+        | Some 'u' ->
+          advance ();
+          let start = !pos in
+          for _ = 1 to 4 do
+            hex_digit ()
+          done;
+          let code = int_of_string ("0x" ^ String.sub text start 4) in
+          (* Keep the exporter's byte-level round trip: BMP code points
+             re-encode as UTF-8; we only ever emit \u00XX ourselves. *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+        | _ -> error "bad escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> error "control character in string"
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_float = ref false in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          saw := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !saw then error "expected digits"
+    in
+    digits ();
+    (match peek () with
+    | Some '.' ->
+      is_float := true;
+      advance ();
+      digits ()
+    | _ -> ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let lexeme = String.sub text start (!pos - start) in
+    if !is_float then Float (float_of_string lexeme)
+    else
+      match int_of_string_opt lexeme with
+      | Some i -> Int i
+      | None -> Float (float_of_string lexeme)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> String (string_body ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let key = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> error "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> error "expected ',' or ']'"
+        in
+        List (items [])
+      end
+    | Some 't' ->
+      literal "true";
+      Bool true
+    | Some 'f' ->
+      literal "false";
+      Bool false
+    | Some 'n' ->
+      literal "null";
+      Null
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> error "expected a value"
+  in
+  try
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing content at offset %d" !pos) else Ok v
+  with Bad msg -> Error msg
+
+(* Object-walking helpers for consumers of parsed documents. *)
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None

@@ -22,3 +22,14 @@ val escape : string -> string
 
 val validate : string -> (unit, string) result
 (** Strict RFC-8259-style syntax check of a complete JSON document. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document into a value (same strict grammar
+    as [validate]).  Numbers without a fraction or exponent that fit
+    in [int] parse as [Int]; everything else numeric as [Float]. *)
+
+val member : string -> t -> t option
+(** [member k v] is field [k] of object [v]; [None] on non-objects. *)
+
+val to_float : t -> float option
+(** Numeric coercion: [Int] and [Float] only. *)

@@ -1,0 +1,22 @@
+let wall = Unix.gettimeofday
+let cpu = Sys.time
+
+(* A CAS-max over the last timestamp handed out.  Returning the max of
+   the OS clock and every previously returned value makes timestamps
+   globally non-decreasing across domains, which the Chrome trace
+   format (and our well-formedness tests) rely on. *)
+let last_ns = Atomic.make 0L
+
+let rec max_into candidate =
+  let seen = Atomic.get last_ns in
+  if Int64.compare candidate seen <= 0 then seen
+  else if Atomic.compare_and_set last_ns seen candidate then candidate
+  else max_into candidate
+
+let now_ns () = max_into (Int64.of_float (wall () *. 1e9))
+
+let timed f =
+  let w0 = wall () in
+  let c0 = cpu () in
+  let r = f () in
+  (r, wall () -. w0, cpu () -. c0)

@@ -1,0 +1,22 @@
+(** Process-wide clocks for observability.
+
+    All timing in the repo funnels through this module so wall/CPU
+    attribution is measured the same way everywhere (experiments,
+    bench harness, tracer spans). *)
+
+val wall : unit -> float
+(** Wall-clock seconds since the epoch ([Unix.gettimeofday]). *)
+
+val cpu : unit -> float
+(** Processor seconds consumed by the whole process ([Sys.time]).
+    Under multiple domains this is process CPU, not per-domain. *)
+
+val now_ns : unit -> int64
+(** Wall time in integer nanoseconds, made globally non-decreasing:
+    every call returns a value [>=] any value previously returned by
+    any domain.  This is the tracer's timestamp source, so exported
+    trace events are monotonic across domains even if the underlying
+    OS clock steps backwards. *)
+
+val timed : (unit -> 'a) -> 'a * float * float
+(** [timed f] runs [f] and returns [(result, wall_seconds, cpu_seconds)]. *)

@@ -1,0 +1,241 @@
+let stripes = 8
+let max_samples = 65536
+
+type counter = { c_name : string; cells : int Atomic.t array }
+type gauge = { g_name : string; cell : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_lock : Mutex.t;
+  mutable samples : float array;
+  mutable stored : int;
+  mutable seen : int;
+  mutable total : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_stats) list;
+}
+
+(* The registry itself is touched only at instrument-creation time
+   (module init of the instrumented libraries) and when snapshotting,
+   so one mutex is plenty. *)
+let lock = Mutex.create ()
+let all_counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let all_gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let all_histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt all_counters name with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; cells = Array.init stripes (fun _ -> Atomic.make 0) } in
+        Hashtbl.replace all_counters name c;
+        c)
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt all_gauges name with
+      | Some g -> g
+      | None ->
+        let g = { g_name = name; cell = Atomic.make 0.0 } in
+        Hashtbl.replace all_gauges name g;
+        g)
+
+let histogram name =
+  locked (fun () ->
+      match Hashtbl.find_opt all_histograms name with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            h_name = name;
+            h_lock = Mutex.create ();
+            samples = [||];
+            stored = 0;
+            seen = 0;
+            total = 0.0;
+            lo = infinity;
+            hi = neg_infinity;
+          }
+        in
+        Hashtbl.replace all_histograms name h;
+        h)
+
+let incr ?(by = 1) c =
+  let i = (Domain.self () :> int) land (stripes - 1) in
+  ignore (Atomic.fetch_and_add c.cells.(i) by)
+
+let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.cells
+
+let set g v = Atomic.set g.cell v
+let gauge_value g = Atomic.get g.cell
+
+let observe h x =
+  Mutex.lock h.h_lock;
+  h.seen <- h.seen + 1;
+  h.total <- h.total +. x;
+  if x < h.lo then h.lo <- x;
+  if x > h.hi then h.hi <- x;
+  if h.stored < max_samples then begin
+    if h.stored >= Array.length h.samples then begin
+      let grown = Array.make (max 64 (2 * Array.length h.samples)) 0.0 in
+      Array.blit h.samples 0 grown 0 h.stored;
+      h.samples <- grown
+    end;
+    h.samples.(h.stored) <- x;
+    h.stored <- h.stored + 1
+  end;
+  Mutex.unlock h.h_lock
+
+(* Nearest-rank percentile over the retained samples: for q in (0,1],
+   the ceil(q*n)-th smallest sample.  observe [1..100] gives p50 = 50,
+   p90 = 90, p99 = 99. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let histogram_stats h =
+  Mutex.lock h.h_lock;
+  let stats =
+    if h.seen = 0 then
+      { count = 0; sum = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p90 = 0.0; p99 = 0.0 }
+    else begin
+      let sorted = Array.sub h.samples 0 h.stored in
+      Array.sort compare sorted;
+      {
+        count = h.seen;
+        sum = h.total;
+        min = h.lo;
+        max = h.hi;
+        p50 = percentile sorted 0.50;
+        p90 = percentile sorted 0.90;
+        p99 = percentile sorted 0.99;
+      }
+    end
+  in
+  Mutex.unlock h.h_lock;
+  stats
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot () =
+  let counters, gauges, histograms =
+    locked (fun () ->
+        ( Hashtbl.fold (fun _ c acc -> c :: acc) all_counters [],
+          Hashtbl.fold (fun _ g acc -> g :: acc) all_gauges [],
+          Hashtbl.fold (fun _ h acc -> h :: acc) all_histograms [] ))
+  in
+  {
+    counters = List.sort by_name (List.map (fun c -> (c.c_name, counter_value c)) counters);
+    gauges = List.sort by_name (List.map (fun g -> (g.g_name, gauge_value g)) gauges);
+    histograms =
+      List.sort by_name (List.map (fun h -> (h.h_name, histogram_stats h)) histograms);
+  }
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Array.iter (fun a -> Atomic.set a 0) c.cells) all_counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.cell 0.0) all_gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Mutex.lock h.h_lock;
+          h.stored <- 0;
+          h.seen <- 0;
+          h.total <- 0.0;
+          h.lo <- infinity;
+          h.hi <- neg_infinity;
+          Mutex.unlock h.h_lock)
+        all_histograms)
+
+let render_text snap =
+  let buf = Buffer.create 1024 in
+  let widest entries = List.fold_left (fun w (n, _) -> max w (String.length n)) 0 entries in
+  if snap.counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    let w = widest snap.counters in
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-*s %d\n" w n v))
+      snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    let w = widest snap.gauges in
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-*s %g\n" w n v))
+      snap.gauges
+  end;
+  if snap.histograms <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    let w = widest snap.histograms in
+    List.iter
+      (fun (n, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s count=%d sum=%g min=%g p50=%g p90=%g p99=%g max=%g\n" w n
+             s.count s.sum s.min s.p50 s.p90 s.p99 s.max))
+      snap.histograms
+  end;
+  if Buffer.length buf = 0 then Buffer.add_string buf "no metrics recorded\n";
+  Buffer.contents buf
+
+let render_json snap =
+  let buf = Buffer.create 1024 in
+  let obj members body =
+    Buffer.add_string buf "  ";
+    Buffer.add_string buf (Obs_json.quote members);
+    Buffer.add_string buf ": {";
+    body ();
+    Buffer.add_string buf "\n  }"
+  in
+  let fields render entries =
+    List.iteri
+      (fun i (n, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf "\n    ";
+        Buffer.add_string buf (Obs_json.quote n);
+        Buffer.add_string buf ": ";
+        render v)
+      entries
+  in
+  Buffer.add_string buf "{\n";
+  obj "counters" (fun () ->
+      fields (fun v -> Buffer.add_string buf (string_of_int v)) snap.counters);
+  Buffer.add_string buf ",\n";
+  obj "gauges" (fun () ->
+      fields (fun v -> Buffer.add_string buf (Obs_json.float_repr v)) snap.gauges);
+  Buffer.add_string buf ",\n";
+  obj "histograms" (fun () ->
+      fields
+        (fun (s : histogram_stats) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s}"
+               s.count (Obs_json.float_repr s.sum) (Obs_json.float_repr s.min)
+               (Obs_json.float_repr s.max) (Obs_json.float_repr s.p50)
+               (Obs_json.float_repr s.p90) (Obs_json.float_repr s.p99)))
+        snap.histograms);
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,64 @@
+(** Process-wide metrics registry: named counters, gauges, and
+    histograms, shared by every layer of the pipeline.
+
+    Instruments are interned by name at module-initialisation time and
+    updated from hot paths, so the update operations are built to be
+    cheap and domain-safe: counters are striped across a small array of
+    atomics (indexed by domain id) so parallel workers do not contend
+    on one cache line, gauges are a single atomic cell, and histograms
+    take a mutex (they are only fed from span-granularity events).
+
+    Metrics are always on — unlike tracing there is no enable flag —
+    because a handful of striped atomic adds per design is measurement
+    noise, and it means [nocmap obs stats] and the [Design_report]
+    snapshot work without any flag plumbing. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Intern (find or create) the counter with this name. *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record one sample.  At most [65536] samples are retained for the
+    percentile estimate; later samples still update count/sum/min/max. *)
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_stats) list;
+}
+(** All three sections are sorted by name, so two snapshots of the
+    same state render identically. *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered instrument (registrations survive). *)
+
+val render_text : snapshot -> string
+(** Human-readable dump: one aligned line per instrument. *)
+
+val render_json : snapshot -> string
+(** Deterministic JSON object with ["counters"], ["gauges"] and
+    ["histograms"] members (the schema [nocmap obs validate] checks). *)

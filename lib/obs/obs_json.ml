@@ -1,0 +1,27 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let quote s = "\"" ^ escape s ^ "\""
+
+let float_repr f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> "0"
+  | _ ->
+    let s = Printf.sprintf "%.17g" f in
+    let shorter = Printf.sprintf "%.12g" f in
+    let s = if float_of_string shorter = f then shorter else s in
+    (* Bare "1e-05" or "42" are valid JSON numbers already. *)
+    s

@@ -1,0 +1,16 @@
+(** Minimal JSON emission helpers for the observability exporters.
+
+    [Noc_obs] sits below every other library in the repo (so that
+    [Noc_util.Domain_pool] and friends can be instrumented), which
+    means it cannot use [Noc_export.Json]; this is the small
+    escape-and-print subset the tracer and metrics exporters need. *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslash, control chars). *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes. *)
+
+val float_repr : float -> string
+(** Shortest round-trippable decimal form, never NaN/Infinity (those
+    are clamped to 0 — JSON has no encoding for them). *)

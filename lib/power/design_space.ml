@@ -2,6 +2,12 @@ module Config = Noc_arch.Noc_config
 module Mesh = Noc_arch.Mesh
 module Mapping = Noc_core.Mapping
 module Domain_pool = Noc_util.Domain_pool
+module Tracer = Noc_obs.Tracer
+module Metrics = Noc_obs.Metrics
+
+let m_points = Metrics.counter "explore.points"
+let m_warm_hits = Metrics.counter "explore.warm_hits"
+let m_infeasible = Metrics.counter "explore.infeasible"
 
 type axes = {
   frequencies : Noc_util.Units.frequency list;
@@ -56,7 +62,7 @@ let infeasible ~freq ~slots ~topology =
    neighbouring points land on the same mesh, skip the whole placement
    search; when the seeded retry fails the point degrades to the exact
    cold behaviour from that size onward. *)
-let solve ~config ~groups ~use_cases ~prune ~freq ~slots ~topology seed_opt =
+let solve_point ~config ~groups ~use_cases ~prune ~freq ~slots ~topology seed_opt =
   let cfg = { config with Config.freq_mhz = freq; slots; topology } in
   (* Seeds inherited from a sweep over a different spec are only valid
      when the core count still matches; a stale one is dropped, which
@@ -141,6 +147,29 @@ let solve ~config ~groups ~use_cases ~prune ~freq ~slots ~topology seed_opt =
         | Error _ -> below more)
     in
     below smaller)
+
+(* One span per sweep point: on a pooled sweep each point runs on
+   whichever domain claimed it, so the trace shows the wave structure
+   directly (one row per worker, one box per point). *)
+let solve ~config ~groups ~use_cases ~prune ~freq ~slots ~topology seed_opt =
+  Metrics.incr m_points;
+  let run () = solve_point ~config ~groups ~use_cases ~prune ~freq ~slots ~topology seed_opt in
+  let ((p, _) as result) =
+    if Tracer.enabled () then
+      Tracer.with_span ~cat:"explore"
+        ~args:
+          [
+            ("freq_mhz", Tracer.Float freq);
+            ("slots", Tracer.Int slots);
+            ("topology", Tracer.Str (match topology with Mesh.Mesh -> "mesh" | Mesh.Torus -> "torus"));
+            ("seeded", Tracer.Bool (seed_opt <> None));
+          ]
+        "explore:point" run
+    else run ()
+  in
+  (match p.switches with None -> Metrics.incr m_infeasible | Some _ -> ());
+  (match p.start with Warm -> Metrics.incr m_warm_hits | Cold -> ());
+  result
 
 let explore_seeded ?(axes = default_axes) ?jobs ?(warm = true) ?(prune = true) ?inherited
     ~config ~groups use_cases =

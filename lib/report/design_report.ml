@@ -55,6 +55,7 @@ type t = {
   dvfs : dvfs_section option;
   verified : bool;
   checks : int;
+  metrics : (string * float) list;
 }
 
 let flow_line ~config ~names (u : Use_case.t) (f : Flow.t) (r : Route.t) =
@@ -168,6 +169,17 @@ let build ?(dvfs = true) (d : DF.t) =
     dvfs = (if dvfs then dvfs_of d else None);
     verified = DF.verified d;
     checks = d.DF.report.Verify.checks;
+    metrics =
+      (* Observability snapshot at report time: the nonzero counters
+         (and all gauges) accumulated by the run that produced this
+         design — cache behaviour, prunes, pool stealing.  The section
+         describes the run, not the design, and the design exporters
+         ignore it, so traced/untraced exports stay byte-identical. *)
+      (let snap = Noc_obs.Metrics.snapshot () in
+       List.filter_map
+         (fun (n, v) -> if v = 0 then None else Some (n, float_of_int v))
+         snap.Noc_obs.Metrics.counters
+       @ snap.Noc_obs.Metrics.gauges);
   }
 
 let min_slack_ns t =
@@ -200,7 +212,16 @@ let print t =
       (String.concat ", "
          (List.map (fun (n, f) -> Printf.sprintf "%s: %.0f MHz" n f) s.epochs))
   | None -> ());
-  Printf.printf "  NI buffers: %d words total\n\n" t.buffer_words_total;
+  Printf.printf "  NI buffers: %d words total\n" t.buffer_words_total;
+  if t.metrics <> [] then
+    Printf.printf "  observability: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (n, v) ->
+              if Float.is_integer v then Printf.sprintf "%s=%.0f" n v
+              else Printf.sprintf "%s=%g" n v)
+            t.metrics));
+  print_newline ();
   let uc_table =
     Table.create ~header:[ "use-case"; "flows"; "MB/s"; "mean util"; "max util" ]
   in

@@ -51,6 +51,11 @@ type t = {
   dvfs : dvfs_section option;
   verified : bool;
   checks : int;
+  metrics : (string * float) list;
+      (** observability snapshot at build time: nonzero counters and
+          gauges from the process-wide registry ([Noc_obs.Metrics]) —
+          cache hits, prunes, pool steals of the run that produced the
+          design.  Purely informational; exporters ignore it. *)
 }
 
 val build : ?dvfs:bool -> Noc_core.Design_flow.t -> t

@@ -1,5 +1,11 @@
 module Config = Noc_arch.Noc_config
 module Route = Noc_arch.Route
+module Tracer = Noc_obs.Tracer
+module Metrics = Noc_obs.Metrics
+
+let m_runs = Metrics.counter "sim.runs"
+let m_slots = Metrics.counter "sim.slots"
+let m_collisions = Metrics.counter "sim.collisions"
 
 type conn_stats = {
   flow_id : int;
@@ -182,7 +188,10 @@ let simulate_sources ~sources ~config ~routes ~duration_slots =
         st.route.Route.links)
     be_states;
   Hashtbl.iter (fun _ (lst, _) -> lst := List.rev !lst) be_by_link;
-  for t = 0 to duration_slots - 1 do
+  Metrics.incr m_runs;
+  Metrics.incr ~by:duration_slots m_slots;
+  Metrics.incr ~by:collisions m_collisions;
+  let step t =
     let now_ns = float_of_int t *. slot_ns in
     let slot = t mod slots in
     (* Arrival of each connection's offered load (fluid or bursty). *)
@@ -267,7 +276,30 @@ let simulate_sources ~sources ~config ~routes ~duration_slots =
             end
         end)
       be_by_link
-  done;
+  in
+  (* Traced runs report slot progress in a handful of chunk spans (one
+     box each in the timeline) instead of one span per slot, which
+     would swamp the trace on long horizons; untraced runs keep the
+     plain loop. *)
+  if Tracer.enabled () then begin
+    let chunk = max 1 ((duration_slots + 7) / 8) in
+    let t = ref 0 in
+    while !t < duration_slots do
+      let stop = min duration_slots (!t + chunk) in
+      Tracer.with_span ~cat:"sim"
+        ~args:[ ("from_slot", Tracer.Int !t); ("to_slot", Tracer.Int stop) ]
+        "sim:slots"
+        (fun () ->
+          for u = !t to stop - 1 do
+            step u
+          done);
+      t := stop
+    done
+  end
+  else
+    for t = 0 to duration_slots - 1 do
+      step t
+    done;
   let horizon_ns = float_of_int duration_slots *. slot_ns in
   let finish st =
     {

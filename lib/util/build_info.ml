@@ -6,25 +6,43 @@ let version = "1.1.0"
    even for large executables. *)
 let sample_bytes = 65536
 
-let computed =
-  lazy
-    (try
-       let path = Sys.executable_name in
-       In_channel.with_open_bin path (fun ic ->
-           let len = In_channel.length ic in
-           let read_at pos n =
-             In_channel.seek ic pos;
-             match In_channel.really_input_string ic n with
-             | Some s -> s
-             | None -> ""
-           in
-           let head = read_at 0L (min sample_bytes (Int64.to_int len)) in
-           let tail_len = min sample_bytes (Int64.to_int len) in
-           let tail = read_at (Int64.sub len (Int64.of_int tail_len)) tail_len in
-           Digest.to_hex
-             (Digest.string (Printf.sprintf "%Ld\n%s\n%s" len head tail)))
-     with _ -> "unreadable-executable")
+let compute () =
+  try
+    let path = Sys.executable_name in
+    In_channel.with_open_bin path (fun ic ->
+        let len = In_channel.length ic in
+        let read_at pos n =
+          In_channel.seek ic pos;
+          match In_channel.really_input_string ic n with
+          | Some s -> s
+          | None -> ""
+        in
+        let head = read_at 0L (min sample_bytes (Int64.to_int len)) in
+        let tail_len = min sample_bytes (Int64.to_int len) in
+        let tail = read_at (Int64.sub len (Int64.of_int tail_len)) tail_len in
+        Digest.to_hex (Digest.string (Printf.sprintf "%Ld\n%s\n%s" len head tail)))
+  with _ -> "unreadable-executable"
 
-let fingerprint () = Lazy.force computed
+(* Not a [lazy]: the first call can come from several pool worker
+   domains at once (a parallel sweep's first cache lookups), and
+   concurrently forcing one lazy raises [CamlinternalLazy.Undefined].
+   Double-checked locking computes the digest exactly once instead. *)
+let computed = Atomic.make None
+let computed_lock = Mutex.create ()
+
+let fingerprint () =
+  match Atomic.get computed with
+  | Some v -> v
+  | None ->
+    Mutex.lock computed_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock computed_lock)
+      (fun () ->
+        match Atomic.get computed with
+        | Some v -> v
+        | None ->
+          let v = compute () in
+          Atomic.set computed (Some v);
+          v)
 
 let describe () = version ^ "+build." ^ fingerprint ()

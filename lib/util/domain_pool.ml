@@ -1,3 +1,12 @@
+module Tracer = Noc_obs.Tracer
+module Metrics = Noc_obs.Metrics
+
+let m_batches = Metrics.counter "pool.batches"
+let m_tasks = Metrics.counter "pool.tasks"
+let m_stolen = Metrics.counter "pool.stolen_tasks"
+let g_workers = Metrics.gauge "pool.workers"
+let g_queue_depth = Metrics.gauge "pool.queue_depth"
+
 let default_jobs_ref = ref (max 1 (Domain.recommended_domain_count ()))
 
 let set_default_jobs n = default_jobs_ref := max 1 n
@@ -44,7 +53,7 @@ let shutting_down = ref false
 
 let worker_handles : unit Domain.t list ref = ref []
 
-let drain b =
+let drain ~helper b =
   (* Anyone draining — pool worker or submitter — must run nested
      batches inline: a task that re-entered [run_batch] here would wait
      on a batch that cannot finish while its own chunk is unfinished.
@@ -58,9 +67,27 @@ let drain b =
     if start >= b.n then continue := false
     else begin
       let stop = min b.n (start + b.chunk) in
-      for i = start to stop - 1 do
-        b.run_task i
-      done;
+      (* A chunk claimed by a pool worker (rather than the submitting
+         domain) is a steal: work that would otherwise have run on the
+         submitter.  Per-worker chunk spans give the trace one row per
+         domain in Perfetto. *)
+      if helper then Metrics.incr ~by:(stop - start) m_stolen;
+      let run_chunk () =
+        for i = start to stop - 1 do
+          b.run_task i
+        done
+      in
+      if Tracer.enabled () then
+        Tracer.with_span ~cat:"pool"
+          ~args:
+            [
+              ("batch", Tracer.Int b.id);
+              ("from", Tracer.Int start);
+              ("to", Tracer.Int stop);
+              ("stolen", Tracer.Bool helper);
+            ]
+          "pool:chunk" run_chunk
+      else run_chunk ();
       let finished_now = Atomic.fetch_and_add b.completed (stop - start) + (stop - start) in
       if finished_now = b.n then begin
         Mutex.lock mutex;
@@ -82,7 +109,7 @@ let worker_body () =
       last_seen := b.id;
       if Atomic.fetch_and_add b.joined 1 < b.helpers_wanted then begin
         Mutex.unlock mutex;
-        drain b;
+        drain ~helper:true b;
         Mutex.lock mutex
       end
     | _ -> Condition.wait work_cond mutex
@@ -96,6 +123,7 @@ let ensure_workers wanted =
   for _ = have + 1 to wanted do
     worker_handles := Domain.spawn worker_body :: !worker_handles
   done;
+  Metrics.set g_workers (float_of_int (List.length !worker_handles));
   Mutex.unlock mutex
 
 let shutdown () =
@@ -136,14 +164,18 @@ let run_batch ~helpers ~n ~chunk run_task =
     }
   in
   current := Some b;
+  Metrics.incr m_batches;
+  Metrics.incr ~by:n m_tasks;
+  Metrics.set g_queue_depth (float_of_int n);
   Condition.broadcast work_cond;
   Mutex.unlock mutex;
-  drain b;
+  drain ~helper:false b;
   Mutex.lock mutex;
   while not b.finished do
     Condition.wait done_cond mutex
   done;
   current := None;
+  Metrics.set g_queue_depth 0.0;
   Condition.broadcast done_cond;
   Mutex.unlock mutex
 

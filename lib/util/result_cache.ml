@@ -1,3 +1,15 @@
+module Metrics = Noc_obs.Metrics
+
+(* Every instance also mirrors its counters into the process-wide
+   metrics registry, so [nocmap obs stats], [--metrics] dumps and the
+   bench snapshot see cache behaviour without holding the instance. *)
+let m_memory_hits = Metrics.counter "cache.memory_hits"
+let m_disk_hits = Metrics.counter "cache.disk_hits"
+let m_misses = Metrics.counter "cache.misses"
+let m_evictions = Metrics.counter "cache.evictions"
+let m_stores = Metrics.counter "cache.stores"
+let m_disk_errors = Metrics.counter "cache.disk_errors"
+
 type stats = {
   memory_hits : int;
   disk_hits : int;
@@ -105,7 +117,8 @@ let mem_insert t key value =
     let victim = t.sentinel.prev in
     unlink_node victim;
     Hashtbl.remove t.table victim.key;
-    t.evictions <- t.evictions + 1
+    t.evictions <- t.evictions + 1;
+    Metrics.incr m_evictions
   end
 
 (* --- disk tier ---------------------------------------------------------- *)
@@ -184,6 +197,7 @@ let disk_read t key =
       | None ->
         (* Corrupt or stale-format: drop it so it is rewritten. *)
         t.disk_errors <- t.disk_errors + 1;
+        Metrics.incr m_disk_errors;
         (try Sys.remove path with Sys_error _ -> ());
         None))
 
@@ -192,7 +206,9 @@ let disk_write t key payload =
   | None -> ()
   | Some dir -> (
     try atomic_write ~path:(entry_file ~dir ~version:t.version key) (render_entry ~version:t.version ~key payload)
-    with _ -> t.disk_errors <- t.disk_errors + 1)
+    with _ ->
+      t.disk_errors <- t.disk_errors + 1;
+      Metrics.incr m_disk_errors)
 
 (* --- public operations -------------------------------------------------- *)
 
@@ -203,21 +219,25 @@ let find t key =
         unlink_node n;
         push_front t n;
         t.memory_hits <- t.memory_hits + 1;
+        Metrics.incr m_memory_hits;
         Some n.value
       | None -> (
         match disk_read t key with
         | Some payload ->
           t.disk_hits <- t.disk_hits + 1;
+          Metrics.incr m_disk_hits;
           mem_insert t key payload;
           Some payload
         | None ->
           t.misses <- t.misses + 1;
+          Metrics.incr m_misses;
           None))
 
 let add t key value =
   locked t (fun () ->
       mem_insert t key value;
       t.stores <- t.stores + 1;
+      Metrics.incr m_stores;
       disk_write t key value)
 
 let stats t =
