@@ -277,6 +277,34 @@ let bench_substrate =
              ignore (Noc_rtl.Netlist.generate ~design_name:"bench" d.DF.mapping)));
     ]
 
+(* Long-horizon bursty workload: every connection bursts 8 slots out
+   of every 256, so ~95 % of the 32000 slots are idle for the event
+   calendar to jump over (the reservations' slack drains each burst
+   shortly after its OFF edge).  The -reference row pins the tick
+   loop's cost on the same input; their ratio is the headline speedup
+   of the event core (the results themselves are byte-identical). *)
+let bench_substrate_bursty =
+  let ucs = SD.example1_use_cases in
+  let d = must_map ucs in
+  let routes = Mapping.routes_of_use_case d.DF.mapping 0 in
+  let sources =
+    List.map
+      (fun r ->
+        ( r.Noc_arch.Route.flow_id,
+          Noc_sim.Simulator.On_off { period_slots = 256; duty = 0.03125 } ))
+      routes
+  in
+  let run core () =
+    ignore
+      (Noc_sim.Simulator.simulate_with ~core ~sources ~config:Config.default ~routes
+         ~duration_slots:32000)
+  in
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"simulate-bursty-32000-slots" (Staged.stage (run `Event));
+      Test.make ~name:"simulate-bursty-32000-slots-reference" (Staged.stage (run `Reference));
+    ]
+
 let suite =
   Test.make_grouped ~name:"nocmap"
     [
@@ -284,7 +312,7 @@ let suite =
       bench_sweep_pareto_grid; bench_sweep_lint_pruned; bench_sweep_lint_noprune;
       bench_sweep_explore_cache_cold; bench_sweep_explore_cache_warm;
       bench_sweep_min_freq; bench_remap_incremental; bench_remap_full; bench_obs;
-      bench_substrate;
+      bench_substrate; bench_substrate_bursty;
     ]
 
 (* Per-benchmark mean ns, sorted by name — the stable shape behind both

@@ -324,8 +324,50 @@ let duration_arg =
   let doc = "Simulation length in TDMA slots." in
   Arg.(value & opt int 3200 & info [ "duration" ] ~docv:"SLOTS" ~doc)
 
-let run_simulate bench use_cases seed freq slots nis xy duration spec_file no_cache cache_dir
-    trace metrics =
+let reference_sim_arg =
+  let doc =
+    "Run the pinned reference tick-loop simulator core instead of the default event-driven \
+     core.  Results are byte-identical; only speed differs."
+  in
+  Arg.(value & flag & info [ "reference-sim" ] ~doc)
+
+let sim_json_arg =
+  let doc =
+    "Write the per-use-case simulation results as JSON to $(docv).  The file records results \
+     only, never which core produced them, so runs with and without $(b,--reference-sim) can \
+     be compared byte for byte."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+(* %.17g round-trips every finite double, so byte-equal files <=>
+   byte-equal results; JSON has no Infinity, hence the quoted "inf"
+   for the BE latency bound. *)
+let write_sim_json path results =
+  let num x = if Float.is_finite x then Printf.sprintf "%.17g" x else "\"inf\"" in
+  let conn (c : Sim.conn_stats) =
+    Printf.sprintf
+      "{\"flow_id\":%d,\"service\":\"%s\",\"offered_mbps\":%s,\"delivered_mbps\":%s,\
+       \"mean_latency_ns\":%s,\"max_latency_ns\":%s,\"bound_ns\":%s,\
+       \"final_backlog_bytes\":%s,\"max_backlog_bytes\":%s}"
+      c.Sim.flow_id
+      (match c.Sim.service with Noc_arch.Route.Gt -> "gt" | Noc_arch.Route.Be -> "be")
+      (num c.Sim.offered_mbps) (num c.Sim.delivered_mbps) (num c.Sim.mean_latency_ns)
+      (num c.Sim.max_latency_ns) (num c.Sim.bound_ns) (num c.Sim.final_backlog_bytes)
+      (num c.Sim.max_backlog_bytes)
+  in
+  let one (name, (res : Sim.result)) =
+    Printf.sprintf
+      "  {\"use_case\":\"%s\",\"duration_slots\":%d,\"slot_ns\":%s,\"collisions\":%d,\
+       \"conns\":[%s]}"
+      name res.Sim.duration_slots (num res.Sim.slot_ns) res.Sim.collisions
+      (String.concat "," (List.map conn res.Sim.conns))
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.map one results));
+  close_out oc
+
+let run_simulate bench use_cases seed freq slots nis xy duration reference_sim sim_json
+    spec_file no_cache cache_dir trace metrics =
   apply_cache no_cache cache_dir;
   apply_obs trace metrics;
   match load_spec ~bench ~use_cases ~seed ~spec_file with
@@ -336,20 +378,26 @@ let run_simulate bench use_cases seed freq slots nis xy duration spec_file no_ca
     | Error msg -> `Error (false, msg)
     | Ok d ->
       let m = d.DF.mapping in
+      let core = if reference_sim then `Reference else `Event in
       Format.printf "%a@.@." DF.pp_summary d;
-      List.iter
-        (fun u ->
-          let routes = Mapping.routes_of_use_case m u.Use_case.id in
-          let res =
-            Tracer.with_span ~cat:"sim"
-              ~args:[ ("use_case", Tracer.Str u.Use_case.name) ]
-              "simulate:use_case"
-              (fun () -> Sim.simulate ~config ~routes ~duration_slots:duration)
-          in
-          Format.printf "%s: %s (%d connections, %d collisions)@." u.Use_case.name
-            (if Sim.within_contract res then "contracts met" else "CONTRACT VIOLATION")
-            (List.length res.Sim.conns) res.Sim.collisions)
-        d.DF.all_use_cases;
+      let results =
+        List.map
+          (fun u ->
+            let routes = Mapping.routes_of_use_case m u.Use_case.id in
+            let res =
+              Tracer.with_span ~cat:"sim"
+                ~args:[ ("use_case", Tracer.Str u.Use_case.name) ]
+                "simulate:use_case"
+                (fun () ->
+                  Sim.simulate_with ~core ~sources:[] ~config ~routes ~duration_slots:duration)
+            in
+            Format.printf "%s: %s (%d connections, %d collisions)@." u.Use_case.name
+              (if Sim.within_contract res then "contracts met" else "CONTRACT VIOLATION")
+              (List.length res.Sim.conns) res.Sim.collisions;
+            (u.Use_case.name, res))
+          d.DF.all_use_cases
+      in
+      Option.iter (fun path -> write_sim_json path results) sim_json;
       `Ok ())
 
 let simulate_cmd =
@@ -359,8 +407,8 @@ let simulate_cmd =
     Term.(
       ret
         (const run_simulate $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg
-       $ nis_arg $ xy_arg $ duration_arg $ spec_arg $ no_cache_arg $ cache_dir_arg $ trace_arg
-       $ metrics_arg))
+       $ nis_arg $ xy_arg $ duration_arg $ reference_sim_arg $ sim_json_arg $ spec_arg
+       $ no_cache_arg $ cache_dir_arg $ trace_arg $ metrics_arg))
 
 (* --- export ------------------------------------------------------------------------ *)
 

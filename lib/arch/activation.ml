@@ -1,0 +1,118 @@
+(* Per-slot activation index over one configuration's routes.
+
+   The slot-accurate simulator used to rediscover, every slot, which
+   GT connections may launch (a scan over every route's [starts]
+   array) and which links the GT schedule leaves free (a full
+   iteration over the per-link BE table).  Both questions are static
+   properties of the routes: this module answers them once, up front,
+   as arrays indexed by slot-table position.
+
+   Indexes refer to positions in the route list given to [build], so
+   callers keeping per-route state in a parallel array can translate
+   in O(1).  The (link, slot) ownership map doubles as the static
+   collision check: the GT discipline is contention-free, so two
+   routes claiming the same (link, slot) is a mapper bug, counted and
+   reported rather than silently resolved. *)
+
+module R = Route
+
+type t = {
+  slots : int;
+  collisions : int;
+  owner : (int * int, int) Hashtbl.t; (* (link, slot) -> flow id of first claimant *)
+  gt_at : int array array;    (* slot -> route positions with a reserved start there *)
+  be_links : int array;       (* distinct links under BE routes, first-traversal order *)
+  be_free_at : int array array; (* slot -> positions in [be_links] not GT-owned *)
+}
+
+let build ~slots routes =
+  if slots <= 0 then invalid_arg "Activation.build: need positive slot count";
+  (* GT ownership and collisions: first claimant keeps the slot, every
+     further claim by a *different* flow counts as a collision. *)
+  let owner = Hashtbl.create 256 in
+  let collisions = ref 0 in
+  List.iter
+    (fun r ->
+      if r.R.service = R.Gt then
+        List.iter
+          (fun start ->
+            List.iteri
+              (fun hop link ->
+                let key = (link, (start + hop) mod slots) in
+                match Hashtbl.find_opt owner key with
+                | Some other when other <> r.R.flow_id -> incr collisions
+                | Some _ -> ()
+                | None -> Hashtbl.add owner key r.R.flow_id)
+              r.R.links)
+          r.R.slot_starts)
+    routes;
+  (* GT launch index: positions of GT routes with a reserved start in
+     each slot, in route order.  A GT route with no links launches from
+     the local port every slot. *)
+  let gt_rev = Array.make slots [] in
+  List.iteri
+    (fun pos r ->
+      if r.R.service = R.Gt then
+        if r.R.links = [] then
+          for s = 0 to slots - 1 do
+            gt_rev.(s) <- pos :: gt_rev.(s)
+          done
+        else begin
+          let seen = Array.make slots false in
+          List.iter
+            (fun start ->
+              let s = ((start mod slots) + slots) mod slots in
+              if not seen.(s) then begin
+                seen.(s) <- true;
+                gt_rev.(s) <- pos :: gt_rev.(s)
+              end)
+            r.R.slot_starts
+        end)
+    routes;
+  let gt_at = Array.map (fun l -> Array.of_list (List.rev l)) gt_rev in
+  (* BE link universe in first-traversal order (route order, then hop
+     order), and for each slot the links the GT schedule leaves free. *)
+  let seen_links = Hashtbl.create 64 in
+  let links_rev = ref [] in
+  List.iter
+    (fun r ->
+      if r.R.service = R.Be then
+        List.iter
+          (fun link ->
+            if not (Hashtbl.mem seen_links link) then begin
+              Hashtbl.add seen_links link ();
+              links_rev := link :: !links_rev
+            end)
+          r.R.links)
+    routes;
+  let be_links = Array.of_list (List.rev !links_rev) in
+  let be_free_at =
+    Array.init slots (fun s ->
+        let free = ref [] in
+        for i = Array.length be_links - 1 downto 0 do
+          if not (Hashtbl.mem owner (be_links.(i), s)) then free := i :: !free
+        done;
+        Array.of_list !free)
+  in
+  { slots; collisions = !collisions; owner; gt_at; be_links; be_free_at }
+
+let slots t = t.slots
+let collisions t = t.collisions
+let gt_owned t ~link ~slot = Hashtbl.mem t.owner (link, slot)
+let gt_starts_at t ~slot = t.gt_at.(slot)
+let be_links t = t.be_links
+let be_free_at t ~slot = t.be_free_at.(slot)
+
+let gt_start_mask t ~pos =
+  let mask = ref [] in
+  for s = t.slots - 1 downto 0 do
+    if Array.exists (( = ) pos) t.gt_at.(s) then mask := s :: !mask
+  done;
+  !mask
+
+let link_free_mask t ~link =
+  let mask = ref [] in
+  for s = t.slots - 1 downto 0 do
+    if not (Hashtbl.mem t.owner (link, s)) then mask := s :: !mask
+  done;
+  !mask

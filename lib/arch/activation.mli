@@ -1,0 +1,45 @@
+(** Per-slot activation index over one configuration's routes.
+
+    Precomputes, once, the two questions a slot-accurate simulator
+    otherwise re-answers every slot: which guaranteed-throughput
+    routes may launch in a given slot-table slot, and which links the
+    GT schedule leaves free for best-effort traffic there.  Also
+    rebuilds the (link, slot) ownership map independently of the
+    mapper and counts collisions — the contention-free TDMA discipline
+    makes any double claim a mapper bug. *)
+
+type t
+
+val build : slots:int -> Route.t list -> t
+(** Index the routes of one use-case configuration against a
+    [slots]-entry slot table.  Route positions in the returned index
+    refer to positions in this list.
+    @raise Invalid_argument unless [slots > 0]. *)
+
+val slots : t -> int
+
+val collisions : t -> int
+(** (link, slot) pairs claimed by more than one GT flow. *)
+
+val gt_owned : t -> link:int -> slot:int -> bool
+(** Does some GT route own this (link, slot)? *)
+
+val gt_starts_at : t -> slot:int -> int array
+(** Positions (into the build list) of GT routes with a reserved start
+    in [slot], in route order.  GT routes with an empty link list
+    (same-switch) launch every slot and appear in every entry. *)
+
+val be_links : t -> int array
+(** Distinct links traversed by BE routes, in first-traversal order
+    (route order, then hop order) — the deterministic arbitration
+    order for per-slot link service. *)
+
+val be_free_at : t -> slot:int -> int array
+(** Positions into {!be_links} of the links not GT-owned in [slot]. *)
+
+val gt_start_mask : t -> pos:int -> int list
+(** The slots in which route position [pos] appears in
+    {!gt_starts_at}, increasing — the arming mask for an event wheel. *)
+
+val link_free_mask : t -> link:int -> int list
+(** The slots in which [link] is not GT-owned, increasing. *)

@@ -71,6 +71,30 @@ let inter_rotated ~into t ~shift =
       if mem into i && not (mem t ((i + h) mod s)) then clear into i
     done
 
+let next_set_from t i =
+  if i < 0 then invalid_arg "Bitmask.next_set_from: negative index";
+  if i >= t.slots then None
+  else begin
+    let found = ref None in
+    let w = ref (i / word_bits) in
+    let n = Array.length t.words in
+    (* mask off the bits below [i] in its word, then scan whole words *)
+    let bits = ref (t.words.(!w) land lnot ((1 lsl (i mod word_bits)) - 1)) in
+    while !found = None && !w < n do
+      if !bits <> 0 then begin
+        (* index of the lowest set bit *)
+        let b = !bits land -(!bits) in
+        let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+        found := Some ((!w * word_bits) + log2 b 0)
+      end
+      else begin
+        incr w;
+        if !w < n then bits := t.words.(!w)
+      end
+    done;
+    !found
+  end
+
 let to_list t =
   let acc = ref [] in
   for i = t.slots - 1 downto 0 do

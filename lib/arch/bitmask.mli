@@ -35,6 +35,11 @@ val inter_rotated : into:t -> t -> shift:int -> unit
     [shift] may be any integer; it is taken modulo the size.
     @raise Invalid_argument when the two sizes differ. *)
 
+val next_set_from : t -> int -> int option
+(** Smallest set bit index [>= i], within [0, slots) — no cyclic wrap;
+    callers wanting the wheel semantics probe again from 0.
+    @raise Invalid_argument when [i] is negative. *)
+
 val to_list : t -> int list
 (** Set bit indices, increasing. *)
 

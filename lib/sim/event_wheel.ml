@@ -1,0 +1,139 @@
+(* Slot-granular event calendar for the event-driven simulator core.
+
+   Three tiers, from cheapest to most general:
+
+   - an *always* refcount for demands active in every slot (fluid
+     sources, backlogged same-switch connections): while positive the
+     next active slot is simply the next slot;
+   - a *timing wheel* over the TDMA period for demands tied to fixed
+     slot-table positions (a backlogged GT connection's reserved
+     starts, a backlogged link's GT-free slots).  Each phase slot
+     carries an arming refcount; a bitmask over the period makes
+     "next armed phase at or after p" one or two word scans;
+   - a *pending-horizon heap* of one-shot absolute slots for events
+     that do not repeat with the period (replay packet injections,
+     on/off phase edges).
+
+   The calendar over-approximates: a slot it reports may turn out to
+   hold no work (e.g. a link armed for a queue that has since
+   drained), and executing such a slot is a harmless no-op.  The
+   correctness obligation is one-sided — every slot in which the
+   reference tick loop would mutate state must be covered by an arm,
+   a schedule, or the always tier. *)
+
+module Bitmask = Noc_arch.Bitmask
+
+type t = {
+  period : int;
+  armed : int array;          (* per-phase arming refcount *)
+  ring : Bitmask.t;           (* bit set <=> armed.(phase) > 0 *)
+  mutable always : int;       (* every-slot demands *)
+  mutable heap : int array;   (* binary min-heap of absolute slots *)
+  mutable heap_len : int;
+}
+
+let create ~period =
+  if period <= 0 then invalid_arg "Event_wheel.create: need positive period";
+  {
+    period;
+    armed = Array.make period 0;
+    ring = Bitmask.create ~slots:period ~full:false;
+    always = 0;
+    heap = Array.make 16 0;
+    heap_len = 0;
+  }
+
+let arm t phases =
+  List.iter
+    (fun p ->
+      if p < 0 || p >= t.period then invalid_arg "Event_wheel.arm: phase out of range";
+      t.armed.(p) <- t.armed.(p) + 1;
+      if t.armed.(p) = 1 then Bitmask.set t.ring p)
+    phases
+
+let disarm t phases =
+  List.iter
+    (fun p ->
+      if p < 0 || p >= t.period then invalid_arg "Event_wheel.disarm: phase out of range";
+      if t.armed.(p) = 0 then invalid_arg "Event_wheel.disarm: phase not armed";
+      t.armed.(p) <- t.armed.(p) - 1;
+      if t.armed.(p) = 0 then Bitmask.clear t.ring p)
+    phases
+
+let arm_always t = t.always <- t.always + 1
+
+let disarm_always t =
+  if t.always = 0 then invalid_arg "Event_wheel.disarm_always: not armed";
+  t.always <- t.always - 1
+
+(* --- one-shot heap ----------------------------------------------------- *)
+
+let swap h i j =
+  let v = h.(i) in
+  h.(i) <- h.(j);
+  h.(j) <- v
+
+let schedule t slot =
+  if slot < 0 then invalid_arg "Event_wheel.schedule: negative slot";
+  if t.heap_len = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.heap_len) 0 in
+    Array.blit t.heap 0 bigger 0 t.heap_len;
+    t.heap <- bigger
+  end;
+  t.heap.(t.heap_len) <- slot;
+  let i = ref t.heap_len in
+  t.heap_len <- t.heap_len + 1;
+  while !i > 0 && t.heap.((!i - 1) / 2) > t.heap.(!i) do
+    swap t.heap ((!i - 1) / 2) !i;
+    i := (!i - 1) / 2
+  done
+
+let heap_pop t =
+  t.heap_len <- t.heap_len - 1;
+  t.heap.(0) <- t.heap.(t.heap_len);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.heap_len && t.heap.(l) < t.heap.(!smallest) then smallest := l;
+    if r < t.heap_len && t.heap.(r) < t.heap.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      swap t.heap !i !smallest;
+      i := !smallest
+    end
+  done
+
+let drop_until t slot =
+  while t.heap_len > 0 && t.heap.(0) <= slot do
+    heap_pop t
+  done
+
+(* --- next-active query -------------------------------------------------- *)
+
+let ring_next t ~from =
+  if Bitmask.is_empty t.ring then None
+  else begin
+    let phase = from mod t.period in
+    match Bitmask.next_set_from t.ring phase with
+    | Some p -> Some (from + (p - phase))
+    | None -> (
+      match Bitmask.next_set_from t.ring 0 with
+      | Some p -> Some (from + (t.period - phase) + p)
+      | None -> None)
+  end
+
+let next_active t ~from =
+  if from < 0 then invalid_arg "Event_wheel.next_active: negative slot";
+  if t.always > 0 then Some from
+  else begin
+    let ring = ring_next t ~from in
+    (* stale heap entries (already executed) are dropped lazily *)
+    drop_until t (from - 1);
+    let heap = if t.heap_len > 0 then Some t.heap.(0) else None in
+    match (ring, heap) with
+    | None, None -> None
+    | Some a, None | None, Some a -> Some a
+    | Some a, Some b -> Some (min a b)
+  end

@@ -1,0 +1,49 @@
+(** Slot-granular event calendar: which simulated slot can hold work next?
+
+    Backs the event-driven simulator core.  Demands are registered in
+    three tiers — an *always* refcount for every-slot demands, a
+    refcounted *timing wheel* over the TDMA period for demands pinned
+    to slot-table positions (reserved GT starts, GT-free link slots),
+    and a min-heap of one-shot absolute slots for aperiodic events
+    (replay packet injections, on/off phase edges).  {!next_active}
+    returns the earliest slot any tier covers, letting the core jump
+    over idle ranges in O(1) per jump.
+
+    The calendar may over-approximate (report a slot that holds no
+    work — executing it is a no-op); it must never under-approximate. *)
+
+type t
+
+val create : period:int -> t
+(** A calendar whose wheel revolves every [period] slots (the TDMA
+    slot-table size).  @raise Invalid_argument unless [period > 0]. *)
+
+val arm : t -> int list -> unit
+(** Increment the arming refcount of each phase slot (each in
+    [0, period)).  Recurring: the phases stay active every revolution
+    until {!disarm}ed.  @raise Invalid_argument on a bad phase. *)
+
+val disarm : t -> int list -> unit
+(** Undo one {!arm} of the same phases.
+    @raise Invalid_argument if a phase was not armed. *)
+
+val arm_always : t -> unit
+(** Register an every-slot demand (refcounted). *)
+
+val disarm_always : t -> unit
+(** @raise Invalid_argument when no every-slot demand is registered. *)
+
+val schedule : t -> int -> unit
+(** Register a one-shot demand at an absolute slot.  Duplicates are
+    fine; stale entries are dropped lazily.
+    @raise Invalid_argument on a negative slot. *)
+
+val drop_until : t -> int -> unit
+(** Discard one-shot entries at slots [<= slot] — call after executing
+    a slot so consumed events do not re-trigger it. *)
+
+val next_active : t -> from:int -> int option
+(** Earliest slot [>= from] covered by any tier, or [None] when the
+    calendar is completely idle.  [Some s] may exceed the caller's
+    horizon; the caller stops there.
+    @raise Invalid_argument on a negative [from]. *)

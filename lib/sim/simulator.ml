@@ -1,11 +1,18 @@
 module Config = Noc_arch.Noc_config
 module Route = Noc_arch.Route
+module Activation = Noc_arch.Activation
 module Tracer = Noc_obs.Tracer
 module Metrics = Noc_obs.Metrics
 
 let m_runs = Metrics.counter "sim.runs"
 let m_slots = Metrics.counter "sim.slots"
 let m_collisions = Metrics.counter "sim.collisions"
+
+(* Event-core effectiveness: slots the selected core actually stepped
+   vs. slots it proved idle and jumped over.  The reference tick loop
+   steps everything, so its runs count only events. *)
+let m_events = Metrics.counter "sim.events"
+let m_skipped = Metrics.counter "sim.skipped_slots"
 
 type conn_stats = {
   flow_id : int;
@@ -36,6 +43,10 @@ type source =
     }
   | Replay of Trace.t
 
+type core =
+  [ `Event     (* activation-indexed calendar core: skips idle slots *)
+  | `Reference (* the pinned tick loop: steps every slot *) ]
+
 type chunk = {
   arrival_ns : float;
   mutable ready_ns : float;  (* earliest instant the next hop may move it *)
@@ -43,8 +54,11 @@ type chunk = {
 }
 
 type conn_state = {
+  idx : int;                       (* position in the route list *)
   route : Route.t;
+  source : source;                 (* resolved once, not per slot *)
   starts : bool array;             (* GT: may we launch in this slot? *)
+  gt_transit_ns : float;           (* launch-to-delivery time of a GT flit *)
   hop_queues : chunk Queue.t array; (* queue i: waiting to traverse link i;
                                        a single queue for GT and same-switch *)
   mutable delivered_bytes : float;
@@ -55,27 +69,35 @@ type conn_state = {
   mutable latency_bytes : float;
 }
 
-(* Static collision check over guaranteed routes: rebuild (link, slot)
-   ownership; the GT discipline must be contention-free. *)
-let count_collisions ~slots routes =
-  let owner = Hashtbl.create 256 in
-  let collisions = ref 0 in
+(* Per-link best-effort service state, in first-traversal order (the
+   deterministic arbitration order both cores share). *)
+type be_entry = {
+  link : int;
+  bconns : (conn_state * int) array; (* (connection, hop) traversing this link *)
+  rr : int ref;                      (* round-robin arbitration pointer *)
+  free_mask : int list;              (* slot phases the GT schedule leaves free *)
+  mutable armed : bool;              (* event core: free_mask armed in the wheel? *)
+}
+
+(* All [sources] problems are rejected before the first slot runs:
+   unknown flow ids (a typo would silently fall back to Fluid
+   otherwise), malformed on/off shapes, invalid traces. *)
+let validate_sources ~sources ~routes =
   List.iter
-    (fun r ->
-      if r.Route.service = Route.Gt then
-        List.iter
-          (fun start ->
-            List.iteri
-              (fun hop link ->
-                let key = (link, (start + hop) mod slots) in
-                match Hashtbl.find_opt owner key with
-                | Some other when other <> r.Route.flow_id -> incr collisions
-                | Some _ -> ()
-                | None -> Hashtbl.add owner key r.Route.flow_id)
-              r.Route.links)
-          r.Route.slot_starts)
-    routes;
-  (!collisions, owner)
+    (fun (flow_id, source) ->
+      if not (List.exists (fun r -> r.Route.flow_id = flow_id) routes) then
+        invalid_arg
+          (Printf.sprintf "Simulator: source for unknown flow id %d" flow_id);
+      match source with
+      | Fluid -> ()
+      | On_off { period_slots; duty } ->
+        if period_slots <= 0 then invalid_arg "Simulator: non-positive burst period";
+        if duty <= 0.0 || duty > 1.0 then invalid_arg "Simulator: duty must be in (0,1]"
+      | Replay trace -> (
+        match Trace.validate trace with
+        | Ok () -> ()
+        | Error msg -> invalid_arg ("Simulator: bad trace: " ^ msg)))
+    sources
 
 let take_from_queue ~budget ~now_ns ~transit_ns queue ~deliver st =
   (* Move up to [budget] ready bytes out of [queue]; [deliver] consumes
@@ -109,13 +131,13 @@ let take_from_queue ~budget ~now_ns ~transit_ns queue ~deliver st =
   done;
   List.rev !moved
 
+(* Shapes are validated once in [validate_sources]; here only the
+   arithmetic remains. *)
 let arrival_bytes ~source ~bw ~slot_ns ~t =
   match source with
   | Fluid -> bw /. 1000.0 *. slot_ns
   | Replay _ -> 0.0 (* replay arrivals are injected event by event *)
   | On_off { period_slots; duty } ->
-    if period_slots <= 0 then invalid_arg "Simulator: non-positive burst period";
-    if duty <= 0.0 || duty > 1.0 then invalid_arg "Simulator: duty must be in (0,1]";
     let on_slots = Float.max 1.0 (Float.round (duty *. float_of_int period_slots)) in
     let phase = t mod period_slots in
     if float_of_int phase < on_slots then
@@ -123,19 +145,74 @@ let arrival_bytes ~source ~bw ~slot_ns ~t =
       bw /. 1000.0 *. slot_ns *. (float_of_int period_slots /. on_slots)
     else 0.0
 
-let simulate_sources ~sources ~config ~routes ~duration_slots =
+let push_arrival st ~arrival_ns ~ready_ns ~bytes =
+  Queue.push { arrival_ns; ready_ns; bytes } st.hop_queues.(0);
+  st.backlog <- st.backlog +. bytes;
+  if st.backlog > st.backlog_peak then st.backlog_peak <- st.backlog
+
+(* Inject every pending trace event falling inside this slot. *)
+let drain_replay st pending ~now_ns ~horizon =
+  let rec go () =
+    match !pending with
+    | e :: rest when e.Trace.at_ns < horizon ->
+      pending := rest;
+      push_arrival st ~arrival_ns:(Float.max e.Trace.at_ns now_ns) ~ready_ns:now_ns
+        ~bytes:e.Trace.bytes;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+(* One link's BE service for one slot: round-robin pick of a stream
+   with queued traffic, then forward one slot payload of it — shared
+   verbatim by both cores so their float operations agree bit for
+   bit.  [on_idle] fires when every stream's queue is empty; the event
+   core uses it to disarm the link.  [on_forward st hop] fires when
+   chunks were pushed into [st]'s hop+1 queue. *)
+let serve_be_link ~now_ns ~slot_ns ~payload_bytes entry ~on_idle ~on_forward =
+  let arr = entry.bconns in
+  let n = Array.length arr in
+  let chosen = ref None in
+  let i = ref 0 in
+  while !chosen = None && !i < n do
+    let idx = (!(entry.rr) + !i) mod n in
+    let st, hop = arr.(idx) in
+    if not (Queue.is_empty st.hop_queues.(hop)) then chosen := Some (idx, st, hop);
+    incr i
+  done;
+  match !chosen with
+  | None -> on_idle ()
+  | Some (idx, st, hop) ->
+    entry.rr := (idx + 1) mod n;
+    let last = hop = Array.length st.hop_queues - 1 in
+    if last then
+      ignore
+        (take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:slot_ns
+           st.hop_queues.(hop) ~deliver:true st)
+    else begin
+      let moved =
+        take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:slot_ns st.hop_queues.(hop)
+          ~deliver:false st
+      in
+      List.iter (fun c -> Queue.push c st.hop_queues.(hop + 1)) moved;
+      if moved <> [] then on_forward st hop
+    end
+
+let simulate_with ~core ~sources ~config ~routes ~duration_slots =
   if duration_slots <= 0 then invalid_arg "Simulator.simulate: non-positive duration";
+  validate_sources ~sources ~routes;
   let slots = config.Config.slots in
   let slot_ns = Config.slot_duration_ns config in
   let payload_bytes =
     float_of_int config.Config.slot_cycles *. float_of_int config.Config.link_width_bits /. 8.0
   in
-  let collisions, gt_owner = count_collisions ~slots routes in
-  let make_state r =
+  let act = Activation.build ~slots routes in
+  let collisions = Activation.collisions act in
+  let make_state idx r =
     let starts = Array.make slots false in
     if r.Route.service = Route.Gt then begin
       if r.Route.links = [] then Array.fill starts 0 slots true
-      else List.iter (fun s -> starts.(s mod slots) <- true) r.Route.slot_starts
+      else List.iter (fun s -> starts.(((s mod slots) + slots) mod slots) <- true) r.Route.slot_starts
     end;
     let n_queues =
       match (r.Route.service, r.Route.links) with
@@ -143,8 +220,11 @@ let simulate_sources ~sources ~config ~routes ~duration_slots =
       | Route.Be, links -> List.length links
     in
     {
+      idx;
       route = r;
+      source = Option.value (List.assoc_opt r.Route.flow_id sources) ~default:Fluid;
       starts;
+      gt_transit_ns = slot_ns +. (float_of_int (Route.hops r) *. slot_ns);
       hop_queues = Array.init n_queues (fun _ -> Queue.create ());
       delivered_bytes = 0.0;
       backlog = 0.0;
@@ -154,152 +234,308 @@ let simulate_sources ~sources ~config ~routes ~duration_slots =
       latency_bytes = 0.0;
     }
   in
-  let states = List.map make_state routes in
+  let states = List.mapi make_state routes in
   (* Pending replay events per connection, consumed in time order. *)
   let replays =
     List.filter_map
-      (fun st ->
-        match List.assoc_opt st.route.Route.flow_id sources with
-        | Some (Replay trace) ->
-          (match Trace.validate trace with
-          | Ok () -> Some (st, ref trace)
-          | Error msg -> invalid_arg ("Simulator: bad trace: " ^ msg))
-        | _ -> None)
+      (fun st -> match st.source with Replay trace -> Some (st, ref trace) | _ -> None)
       states
   in
   let gt_states = List.filter (fun st -> st.route.Route.service = Route.Gt) states in
   let be_states = List.filter (fun st -> st.route.Route.service = Route.Be) states in
-  (* Per link: the BE connections that traverse it (with their hop
-     index), and a round-robin arbitration pointer. *)
-  let be_by_link : (int, (conn_state * int) list ref * int ref) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun st ->
-      List.iteri
-        (fun hop link ->
-          let entry =
-            match Hashtbl.find_opt be_by_link link with
-            | Some e -> e
-            | None ->
-              let e = (ref [], ref 0) in
-              Hashtbl.add be_by_link link e;
-              e
-          in
-          fst entry := (st, hop) :: !(fst entry))
-        st.route.Route.links)
-    be_states;
-  Hashtbl.iter (fun _ (lst, _) -> lst := List.rev !lst) be_by_link;
+  (* Per-link BE service state, in the activation index's first-traversal
+     order — the one deterministic arbitration order of both cores. *)
+  let be_entries =
+    let per_link = Hashtbl.create 16 in
+    List.iter
+      (fun st ->
+        List.iteri
+          (fun hop link ->
+            let prev = try Hashtbl.find per_link link with Not_found -> [] in
+            Hashtbl.replace per_link link ((st, hop) :: prev))
+          st.route.Route.links)
+      be_states;
+    Array.map
+      (fun link ->
+        {
+          link;
+          bconns = Array.of_list (List.rev (Hashtbl.find per_link link));
+          rr = ref 0;
+          free_mask = Activation.link_free_mask act ~link;
+          armed = false;
+        })
+      (Activation.be_links act)
+  in
   Metrics.incr m_runs;
   Metrics.incr ~by:duration_slots m_slots;
   Metrics.incr ~by:collisions m_collisions;
-  let step t =
-    let now_ns = float_of_int t *. slot_ns in
-    let slot = t mod slots in
-    (* Arrival of each connection's offered load (fluid or bursty). *)
-    List.iter
-      (fun st ->
-        let source =
-          Option.value (List.assoc_opt st.route.Route.flow_id sources) ~default:Fluid
-        in
-        let arriving = arrival_bytes ~source ~bw:st.route.Route.bandwidth ~slot_ns ~t in
-        if arriving > 0.0 then begin
-          Queue.push { arrival_ns = now_ns; ready_ns = now_ns; bytes = arriving } st.hop_queues.(0);
-          st.backlog <- st.backlog +. arriving;
-          if st.backlog > st.backlog_peak then st.backlog_peak <- st.backlog
-        end)
-      states;
-    (* Replay traces: inject every event falling inside this slot. *)
-    List.iter
-      (fun (st, pending) ->
-        let horizon = now_ns +. slot_ns in
-        let rec drain () =
-          match !pending with
-          | e :: rest when e.Trace.at_ns < horizon ->
-            pending := rest;
-            Queue.push
-              { arrival_ns = Float.max e.Trace.at_ns now_ns; ready_ns = now_ns; bytes = e.Trace.bytes }
-              st.hop_queues.(0);
-            st.backlog <- st.backlog +. e.Trace.bytes;
-            if st.backlog > st.backlog_peak then st.backlog_peak <- st.backlog;
-            drain ()
-          | _ -> ()
-        in
-        drain ())
-      replays;
-    (* Guaranteed connections: a payload departs on each reserved start. *)
-    List.iter
-      (fun st ->
-        if st.starts.(slot) then begin
-          let transit_ns = slot_ns +. (float_of_int (Route.hops st.route) *. slot_ns) in
-          ignore
-            (take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns st.hop_queues.(0)
-               ~deliver:true st)
-        end)
-      gt_states;
-    (* Same-switch best-effort: the local port forwards every slot. *)
-    List.iter
-      (fun st ->
-        if st.route.Route.links = [] then
-          ignore
-            (take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:slot_ns
-               st.hop_queues.(0) ~deliver:true st))
-      be_states;
-    (* Best-effort over links: each link whose current slot is not
-       GT-owned serves one BE connection (round robin). *)
-    Hashtbl.iter
-      (fun link (conns, rr) ->
-        if not (Hashtbl.mem gt_owner (link, slot)) then begin
-          let arr = Array.of_list !conns in
-          let n = Array.length arr in
-          let chosen = ref None in
-          let i = ref 0 in
-          while !chosen = None && !i < n do
-            let idx = (!rr + !i) mod n in
-            let st, hop = arr.(idx) in
-            if not (Queue.is_empty st.hop_queues.(hop)) then chosen := Some (idx, st, hop);
-            incr i
-          done;
-          match !chosen with
-          | None -> ()
-          | Some (idx, st, hop) ->
-            rr := (idx + 1) mod n;
-            let last = hop = Array.length st.hop_queues - 1 in
-            if last then
-              ignore
-                (take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:slot_ns
-                   st.hop_queues.(hop) ~deliver:true st)
-            else begin
-              let moved =
-                take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:slot_ns
-                  st.hop_queues.(hop) ~deliver:false st
-              in
-              List.iter (fun c -> Queue.push c st.hop_queues.(hop + 1)) moved
-            end
-        end)
-      be_by_link
+
+  (* --- the pinned reference core: tick every slot ----------------------- *)
+  let run_reference () =
+    let step t =
+      let now_ns = float_of_int t *. slot_ns in
+      let slot = t mod slots in
+      (* Arrival of each connection's offered load (fluid or bursty). *)
+      List.iter
+        (fun st ->
+          let arriving = arrival_bytes ~source:st.source ~bw:st.route.Route.bandwidth ~slot_ns ~t in
+          if arriving > 0.0 then push_arrival st ~arrival_ns:now_ns ~ready_ns:now_ns ~bytes:arriving)
+        states;
+      (* Replay traces: inject every event falling inside this slot. *)
+      List.iter
+        (fun (st, pending) -> drain_replay st pending ~now_ns ~horizon:(now_ns +. slot_ns))
+        replays;
+      (* Guaranteed connections: a payload departs on each reserved start. *)
+      List.iter
+        (fun st ->
+          if st.starts.(slot) then
+            ignore
+              (take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:st.gt_transit_ns
+                 st.hop_queues.(0) ~deliver:true st))
+        gt_states;
+      (* Same-switch best-effort: the local port forwards every slot. *)
+      List.iter
+        (fun st ->
+          if st.route.Route.links = [] then
+            ignore
+              (take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:slot_ns
+                 st.hop_queues.(0) ~deliver:true st))
+        be_states;
+      (* Best-effort over links: each link whose current slot is not
+         GT-owned serves one BE connection (round robin). *)
+      Array.iter
+        (fun entry ->
+          if not (Activation.gt_owned act ~link:entry.link ~slot) then
+            serve_be_link ~now_ns ~slot_ns ~payload_bytes entry
+              ~on_idle:(fun () -> ())
+              ~on_forward:(fun _ _ -> ()))
+        be_entries
+    in
+    (* Traced runs report slot progress in a handful of chunk spans (one
+       box each in the timeline) instead of one span per slot, which
+       would swamp the trace on long horizons; untraced runs keep the
+       plain loop. *)
+    if Tracer.enabled () then begin
+      let chunk = max 1 ((duration_slots + 7) / 8) in
+      let t = ref 0 in
+      while !t < duration_slots do
+        let stop = min duration_slots (!t + chunk) in
+        Tracer.with_span ~cat:"sim"
+          ~args:[ ("from_slot", Tracer.Int !t); ("to_slot", Tracer.Int stop) ]
+          "sim:slots"
+          (fun () ->
+            for u = !t to stop - 1 do
+              step u
+            done);
+        t := stop
+      done
+    end
+    else
+      for t = 0 to duration_slots - 1 do
+        step t
+      done;
+    Metrics.incr ~by:duration_slots m_events
   in
-  (* Traced runs report slot progress in a handful of chunk spans (one
-     box each in the timeline) instead of one span per slot, which
-     would swamp the trace on long horizons; untraced runs keep the
-     plain loop. *)
-  if Tracer.enabled () then begin
-    let chunk = max 1 ((duration_slots + 7) / 8) in
-    let t = ref 0 in
-    while !t < duration_slots do
-      let stop = min duration_slots (!t + chunk) in
+
+  (* --- the event core: jump straight to the next slot with work --------- *)
+  let run_event () =
+    let states_arr = Array.of_list states in
+    let wheel = Event_wheel.create ~period:slots in
+    (* Where a push into a connection's queues must register demand:
+       a backlogged GT connection wants its reserved starts, a
+       same-switch one wants every slot, a multi-hop BE one wants the
+       GT-free slots of the link serving the pushed hop. *)
+    let entry_of_link = Hashtbl.create 16 in
+    Array.iteri (fun i e -> Hashtbl.replace entry_of_link e.link i) be_entries;
+    let targets =
+      Array.map
+        (fun st ->
+          match (st.route.Route.service, st.route.Route.links) with
+          | Route.Gt, [] | Route.Be, [] -> `Local
+          | Route.Gt, _ ->
+            let mask = ref [] in
+            for s = slots - 1 downto 0 do
+              if st.starts.(s) then mask := s :: !mask
+            done;
+            `Gt_mask !mask
+          | Route.Be, links ->
+            `Be_hops (Array.of_list (List.map (Hashtbl.find entry_of_link) links)))
+        states_arr
+    in
+    let armed = Array.make (Array.length states_arr) false in
+    let arm_state i =
+      if not armed.(i) then begin
+        armed.(i) <- true;
+        match targets.(i) with
+        | `Gt_mask mask -> Event_wheel.arm wheel mask
+        | `Local -> Event_wheel.arm_always wheel
+        | `Be_hops _ -> assert false
+      end
+    in
+    let disarm_state i =
+      if armed.(i) then
+        match targets.(i) with
+        | `Gt_mask mask ->
+          armed.(i) <- false;
+          Event_wheel.disarm wheel mask
+        | `Local ->
+          armed.(i) <- false;
+          Event_wheel.disarm_always wheel
+        | `Be_hops _ -> assert false
+    in
+    let arm_entry e =
+      if not e.armed then begin
+        e.armed <- true;
+        Event_wheel.arm wheel e.free_mask
+      end
+    in
+    let arm_hop st hop =
+      match targets.(st.idx) with
+      | `Be_hops entries -> arm_entry be_entries.(entries.(hop))
+      | `Gt_mask _ | `Local -> arm_state st.idx
+    in
+    (* Arrival processes, resolved once.  The per-slot byte amounts are
+       the exact expressions [arrival_bytes] evaluates, hoisted. *)
+    let arrivals =
+      Array.of_list
+        (List.filter_map
+           (fun st ->
+             let bw = st.route.Route.bandwidth in
+             match st.source with
+             | Fluid ->
+               let bytes = bw /. 1000.0 *. slot_ns in
+               if bytes > 0.0 then Some (st, `Every_slot bytes) else None
+             | On_off { period_slots = p; duty } ->
+               let on_slots = Float.max 1.0 (Float.round (duty *. float_of_int p)) in
+               let bytes = bw /. 1000.0 *. slot_ns *. (float_of_int p /. on_slots) in
+               if bytes > 0.0 then Some (st, `On_off (p, int_of_float on_slots, bytes, ref false))
+               else None
+             | Replay _ -> None)
+           states)
+    in
+    let be_local =
+      Array.of_list (List.filter (fun st -> st.route.Route.links = []) be_states)
+    in
+    (* The first slot a trace event enters the NoC: the smallest t with
+       [at_ns < horizon t], probed with the reference's own horizon
+       expression so float rounding cannot disagree. *)
+    let inject_slot at_ns =
+      let est = at_ns /. slot_ns in
+      if est > float_of_int duration_slots +. 1.0 then duration_slots
+      else begin
+        let s = ref (max 0 (int_of_float est - 2)) in
+        while not (at_ns < (float_of_int !s *. slot_ns) +. slot_ns) do
+          incr s
+        done;
+        !s
+      end
+    in
+    (* Seed the calendar: fluid sources arrive every slot, on/off ones
+       at slot 0 (phase 0 is always ON since on_slots >= 1), traces at
+       their first event's slot. *)
+    Array.iter
+      (fun (_, kind) ->
+        match kind with
+        | `Every_slot _ -> Event_wheel.arm_always wheel
+        | `On_off _ -> Event_wheel.schedule wheel 0)
+      arrivals;
+    List.iter
+      (fun (_, pending) ->
+        match !pending with
+        | e :: _ -> Event_wheel.schedule wheel (inject_slot e.Trace.at_ns)
+        | [] -> ())
+      replays;
+    let step t =
+      let now_ns = float_of_int t *. slot_ns in
+      let slot = t mod slots in
+      Array.iter
+        (fun (st, kind) ->
+          match kind with
+          | `Every_slot bytes ->
+            push_arrival st ~arrival_ns:now_ns ~ready_ns:now_ns ~bytes;
+            arm_hop st 0
+          | `On_off (p, on, bytes, in_burst) ->
+            if t mod p < on then begin
+              push_arrival st ~arrival_ns:now_ns ~ready_ns:now_ns ~bytes;
+              arm_hop st 0;
+              (* A burst makes every slot active until its OFF edge, so
+                 ride the always tier for its length (exact, not an
+                 over-approximation) instead of chaining a one-shot per
+                 ON slot — that churned the heap once per source per
+                 slot. *)
+              if not !in_burst then begin
+                in_burst := true;
+                Event_wheel.arm_always wheel
+              end;
+              if t mod p = on - 1 then begin
+                in_burst := false;
+                Event_wheel.disarm_always wheel;
+                let nxt = t - (t mod p) + p in
+                if nxt < duration_slots then Event_wheel.schedule wheel nxt
+              end
+            end)
+        arrivals;
+      List.iter
+        (fun (st, pending) ->
+          let horizon = now_ns +. slot_ns in
+          match !pending with
+          | e :: _ when e.Trace.at_ns < horizon ->
+            drain_replay st pending ~now_ns ~horizon;
+            arm_hop st 0;
+            (match !pending with
+            | e :: _ -> Event_wheel.schedule wheel (inject_slot e.Trace.at_ns)
+            | [] -> ())
+          | _ -> ())
+        replays;
+      Array.iter
+        (fun pos ->
+          let st = states_arr.(pos) in
+          ignore
+            (take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:st.gt_transit_ns
+               st.hop_queues.(0) ~deliver:true st);
+          if Queue.is_empty st.hop_queues.(0) then disarm_state pos)
+        (Activation.gt_starts_at act ~slot);
+      Array.iter
+        (fun st ->
+          ignore
+            (take_from_queue ~budget:payload_bytes ~now_ns ~transit_ns:slot_ns st.hop_queues.(0)
+               ~deliver:true st);
+          if Queue.is_empty st.hop_queues.(0) then disarm_state st.idx)
+        be_local;
+      Array.iter
+        (fun ei ->
+          let entry = be_entries.(ei) in
+          serve_be_link ~now_ns ~slot_ns ~payload_bytes entry
+            ~on_idle:(fun () ->
+              if entry.armed then begin
+                entry.armed <- false;
+                Event_wheel.disarm wheel entry.free_mask
+              end)
+            ~on_forward:(fun st hop -> arm_hop st (hop + 1)))
+        (Activation.be_free_at act ~slot)
+    in
+    let executed = ref 0 in
+    let rec loop from =
+      if from < duration_slots then
+        match Event_wheel.next_active wheel ~from with
+        | None -> ()
+        | Some u when u >= duration_slots -> ()
+        | Some u ->
+          step u;
+          incr executed;
+          Event_wheel.drop_until wheel u;
+          loop (u + 1)
+    in
+    if Tracer.enabled () then
       Tracer.with_span ~cat:"sim"
-        ~args:[ ("from_slot", Tracer.Int !t); ("to_slot", Tracer.Int stop) ]
-        "sim:slots"
-        (fun () ->
-          for u = !t to stop - 1 do
-            step u
-          done);
-      t := stop
-    done
-  end
-  else
-    for t = 0 to duration_slots - 1 do
-      step t
-    done;
+        ~args:[ ("duration_slots", Tracer.Int duration_slots) ]
+        "sim:event-loop"
+        (fun () -> loop 0)
+    else loop 0;
+    Metrics.incr ~by:!executed m_events;
+    Metrics.incr ~by:(duration_slots - !executed) m_skipped
+  in
+  (match core with `Reference -> run_reference () | `Event -> run_event ());
   let horizon_ns = float_of_int duration_slots *. slot_ns in
   let finish st =
     {
@@ -344,5 +580,8 @@ let pp_result ppf r =
     r.conns;
   Format.fprintf ppf "@]"
 
+let simulate_sources ~sources ~config ~routes ~duration_slots =
+  simulate_with ~core:`Event ~sources ~config ~routes ~duration_slots
+
 let simulate ~config ~routes ~duration_slots =
-  simulate_sources ~sources:[] ~config ~routes ~duration_slots
+  simulate_with ~core:`Event ~sources:[] ~config ~routes ~duration_slots

@@ -7,13 +7,23 @@
     one of the connection's reserved starting slots comes around, and
     reaches the destination [hops] slots later.  The simulator
     independently rebuilds the (link, slot) occupancy from the routes
-    and reports any collision — a disagreement would mean the mapper's
-    slot tables are wrong.
+    ({!Noc_arch.Activation}) and reports any collision — a disagreement
+    would mean the mapper's slot tables are wrong.
 
     Best-effort connections (paper Sec 2's second Aethereal traffic
     class) are forwarded hop by hop over slots the GT schedule leaves
     free, with per-link round-robin arbitration between BE streams;
-    they get whatever is left and no latency bound. *)
+    they get whatever is left and no latency bound.
+
+    Two cores execute that semantics.  The [`Event] core (default)
+    precomputes per-slot activation indexes and drives an
+    {!Event_wheel} so it steps only slots in which traffic arrives or
+    a queue can drain, jumping over idle ranges — the fast path for
+    bursty and trace-driven workloads whose slots are mostly empty.
+    The [`Reference] core is the pinned tick loop stepping every slot.
+    Both run the same per-slot operations in the same order, so their
+    results are byte-identical on every source mix (pinned by a QCheck
+    property in [test_sim.ml] and a CI [cmp] job). *)
 
 type conn_stats = {
   flow_id : int;
@@ -54,13 +64,36 @@ type result = {
   conns : conn_stats list;
 }
 
-val simulate :
+type core =
+  [ `Event     (** activation-indexed event-calendar core: skips idle
+                   slots; the default *)
+  | `Reference (** the pinned tick loop stepping every slot *) ]
+
+val simulate_with :
+  core:core ->
+  sources:(int * source) list ->
   config:Noc_arch.Noc_config.t ->
   routes:Noc_arch.Route.t list ->
   duration_slots:int ->
   result
 (** Simulate the routes of one use-case configuration for
-    [duration_slots] slots, with fluid (constant-rate) sources. *)
+    [duration_slots] slots on the selected core, with the arrival
+    process of individual connections overridden by flow id
+    (connections not named fall back to [Fluid]).  The source list is
+    validated before the first slot runs.  Both cores return
+    byte-identical results.
+    @raise Invalid_argument when [duration_slots <= 0], a source names
+    a flow id matching no route, an on/off shape is malformed
+    ([period_slots <= 0] or [duty] outside (0, 1]), or a trace fails
+    {!Trace.validate}. *)
+
+val simulate :
+  config:Noc_arch.Noc_config.t ->
+  routes:Noc_arch.Route.t list ->
+  duration_slots:int ->
+  result
+(** [simulate_with ~core:`Event ~sources:[]] — fluid sources on the
+    event core. *)
 
 val simulate_sources :
   sources:(int * source) list ->
@@ -68,8 +101,8 @@ val simulate_sources :
   routes:Noc_arch.Route.t list ->
   duration_slots:int ->
   result
-(** Like {!simulate}, with the arrival process of individual
-    connections overridden by flow id. *)
+(** [simulate_with ~core:`Event] — source overrides on the event
+    core. *)
 
 val within_contract : ?tolerance:float -> result -> bool
 (** True when every *guaranteed* connection delivered at least

@@ -416,6 +416,126 @@ let test_backlog_within_buffer_bound () =
         (c.Sim.max_backlog_bytes <= bound +. 1e-6))
     routes res.Sim.conns
 
+(* --- core equivalence -------------------------------------------------------- *)
+
+(* Byte identity, not tolerance: Marshal distinguishes every float bit
+   pattern (0.0 vs -0.0, NaN payloads), which [=] and [Float.equal] do
+   not. *)
+let bytes_of_result (r : Sim.result) = Marshal.to_string r []
+
+let check_cores_identical ~sources ~routes ~duration_slots name =
+  let run core =
+    Sim.simulate_with ~core ~sources ~config:Config.default ~routes ~duration_slots
+  in
+  Alcotest.(check bool) name true
+    (String.equal (bytes_of_result (run `Event)) (bytes_of_result (run `Reference)))
+
+let test_cores_agree_all_idle () =
+  (* An empty replay trace never injects: no slot mutates state over
+     the whole horizon, so the event core may execute almost nothing. *)
+  let r = mk_route ~id:0 ~bw:62.5 ~links:[ 0 ] ~starts:[ 0 ] () in
+  check_cores_identical ~sources:[ (0, Sim.Replay []) ] ~routes:[ r ]
+    ~duration_slots:5000 "all-idle horizon"
+
+let test_cores_agree_replay_past_horizon () =
+  (* Every trace event lands after the simulated window: the injection
+     slot the event core schedules must not leak into the horizon. *)
+  let r = mk_route ~id:0 ~bw:62.5 ~links:[ 0 ] ~starts:[ 0 ] () in
+  let trace = [ { Trace.at_ns = 1e9; bytes = 64.0 } ] in
+  check_cores_identical ~sources:[ (0, Sim.Replay trace) ] ~routes:[ r ]
+    ~duration_slots:100 "replay beyond horizon";
+  let res =
+    Sim.simulate_sources ~sources:[ (0, Sim.Replay trace) ] ~config:Config.default
+      ~routes:[ r ] ~duration_slots:100
+  in
+  match res.Sim.conns with
+  | [ c ] -> Alcotest.(check (float 1e-9)) "nothing delivered" 0.0 c.Sim.delivered_mbps
+  | _ -> Alcotest.fail "one connection expected"
+
+let test_cores_agree_wheel_wrap () =
+  (* Burst period longer than the slot table and duration many times
+     both: phase edges must survive wheel revolutions via the one-shot
+     heap, not the periodic ring. *)
+  let a = mk_route ~id:0 ~bw:125.0 ~links:[ 0 ] ~starts:[ 0; 16 ] () in
+  let b = mk_route ~service:Route.Be ~id:1 ~bw:300.0 ~links:[ 0; 1 ] ~starts:[] () in
+  check_cores_identical
+    ~sources:[ (0, Sim.On_off { period_slots = 48; duty = 0.25 }) ]
+    ~routes:[ a; b ] ~duration_slots:3200 "wrap past the period"
+
+let test_cores_agree_mixed_traffic () =
+  (* All four source shapes at once, sharing links, so GT service, BE
+     arbitration and replay injection interleave in every slot class. *)
+  let gt_fluid = mk_route ~id:0 ~bw:100.0 ~links:[ 0; 1 ] ~starts:[ 0; 8 ] () in
+  let gt_burst = mk_route ~id:1 ~bw:125.0 ~links:[ 1 ] ~starts:[ 4; 20 ] () in
+  let gt_replay = mk_route ~id:2 ~bw:62.5 ~links:[ 2 ] ~starts:[ 2 ] () in
+  let local = mk_route ~id:3 ~bw:50.0 ~links:[] ~starts:[] () in
+  let be = mk_route ~service:Route.Be ~id:4 ~bw:400.0 ~links:[ 0; 2 ] ~starts:[] () in
+  let trace = Trace.cbr ~rate_mbps:80.0 ~packet_bytes:48.0 ~duration_ns:20000.0 in
+  check_cores_identical
+    ~sources:
+      [
+        (1, Sim.On_off { period_slots = 64; duty = 0.125 });
+        (2, Sim.Replay trace);
+      ]
+    ~routes:[ gt_fluid; gt_burst; gt_replay; local; be ]
+    ~duration_slots:6400 "mixed GT/BE/replay"
+
+let test_rejects_unknown_flow_source () =
+  (* A typo'd flow id used to be silently ignored (the source list was
+     consulted with assoc_opt); now it is rejected up front. *)
+  let r = mk_route ~id:0 ~bw:10.0 ~links:[ 0 ] ~starts:[ 0 ] () in
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Simulator: source for unknown flow id 7") (fun () ->
+      ignore
+        (Sim.simulate_sources ~sources:[ (7, Sim.Fluid) ] ~config:Config.default
+           ~routes:[ r ] ~duration_slots:8))
+
+let prop_cores_byte_identical =
+  QCheck.Test.make ~name:"event core byte-identical to reference tick loop" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Noc_util.Rng.create ~seed in
+      let n = Noc_util.Rng.int_in rng 1 5 in
+      let duration = Noc_util.Rng.int_in rng 1 400 in
+      let routes_and_sources =
+        List.init n (fun id ->
+            let gt = Noc_util.Rng.chance rng 0.7 in
+            let hops = Noc_util.Rng.int_in rng 0 3 in
+            (* overlapping links across routes exercise GT/BE contention
+               and round-robin arbitration *)
+            let links = List.init hops (fun h -> ((id * 4) + h) mod 5) in
+            (* a GT route over links needs at least one reserved start
+               (the analytic latency bound is undefined otherwise) *)
+            let k = Noc_util.Rng.int_in rng (if gt && hops > 0 then 1 else 0) 4 in
+            let starts = Noc_util.Rng.sample_without_replacement rng k 32 in
+            let bw = Noc_util.Rng.float_in rng 5.0 400.0 in
+            let service = if gt then Route.Gt else Route.Be in
+            let r = mk_route ~service ~id ~bw ~links ~starts:(if gt then starts else []) () in
+            let source =
+              match Noc_util.Rng.int rng 3 with
+              | 0 -> Sim.Fluid
+              | 1 ->
+                Sim.On_off
+                  {
+                    period_slots = Noc_util.Rng.int_in rng 1 100;
+                    duty = Noc_util.Rng.float_in rng 0.05 1.0;
+                  }
+              | _ ->
+                let rate = Noc_util.Rng.float_in rng 10.0 200.0 in
+                let pkt = Noc_util.Rng.float_in rng 8.0 128.0 in
+                let horizon = Noc_util.Rng.float_in rng 100.0 5000.0 in
+                Sim.Replay (Trace.cbr ~rate_mbps:rate ~packet_bytes:pkt ~duration_ns:horizon)
+            in
+            (r, (id, source)))
+      in
+      let routes = List.map fst routes_and_sources in
+      let sources = List.map snd routes_and_sources in
+      let run core =
+        Sim.simulate_with ~core ~sources ~config:Config.default ~routes
+          ~duration_slots:duration
+      in
+      String.equal (bytes_of_result (run `Event)) (bytes_of_result (run `Reference)))
+
 let prop_backlog_bound_holds =
   QCheck.Test.make ~name:"NI buffer bound covers simulated peak backlog" ~count:50
     QCheck.(pair (int_range 1 8) (int_range 1 31))
@@ -452,7 +572,11 @@ let prop_random_designs_simulate_cleanly =
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_backlog_bound_holds; prop_random_designs_simulate_cleanly ]
+    [
+      prop_cores_byte_identical;
+      prop_backlog_bound_holds;
+      prop_random_designs_simulate_cleanly;
+    ]
 
 let () =
   Alcotest.run "noc_sim"
@@ -493,6 +617,14 @@ let () =
           Alcotest.test_case "replay through GT" `Quick test_trace_replay_through_gt;
           Alcotest.test_case "video over provisioned GT" `Quick test_trace_replay_video_over_provisioned_gt;
           Alcotest.test_case "replay rejects invalid" `Quick test_trace_replay_rejects_invalid;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "all-idle horizon" `Quick test_cores_agree_all_idle;
+          Alcotest.test_case "replay past horizon" `Quick test_cores_agree_replay_past_horizon;
+          Alcotest.test_case "wheel wrap" `Quick test_cores_agree_wheel_wrap;
+          Alcotest.test_case "mixed traffic" `Quick test_cores_agree_mixed_traffic;
+          Alcotest.test_case "unknown flow id rejected" `Quick test_rejects_unknown_flow_source;
         ] );
       ( "buffer_bounds",
         [ Alcotest.test_case "backlog within NI buffer bound" `Quick test_backlog_within_buffer_bound ] );
