@@ -220,6 +220,41 @@ let emit_systemc path name mapping =
       `Error
         (false, Printf.sprintf "generated SystemC failed lint (%d issues)" (List.length issues)))
 
+let dump_arg =
+  let doc =
+    "Write the designed mapping as a canonical Mapping_codec dump to $(docv) — the format \
+     $(b,nocmap certify --from) audits."
+  in
+  Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
+
+let certify_flag_arg =
+  let doc =
+    "Run the independent certificate checker (Noc_analysis.Certify) on the finished design as a \
+     final flow phase; any finding fails the command."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let emit_dump path mapping =
+  match path with
+  | None -> `Ok ()
+  | Some file ->
+    (match Noc_core.Mapping_codec.encode mapping with
+    | Some text ->
+      Out_channel.with_open_text file (fun oc -> output_string oc text);
+      Format.printf "mapping dump written to %s (%d bytes)@." file (String.length text);
+      `Ok ()
+    | None -> `Error (false, "this mapping cannot be encoded (mesh carries express channels)"))
+
+let certify_design name (d : DF.t) =
+  let module C = Noc_analysis.Certify in
+  let cert = C.certify ~name d.DF.mapping d.DF.all_use_cases in
+  print_string (C.render_text cert);
+  if C.clean cert then Ok ()
+  else
+    Error
+      (Printf.sprintf "certificate rejected (%d findings)"
+         (List.length cert.C.findings))
+
 let load_spec ~bench ~use_cases ~seed ~spec_file =
   match spec_file with
   | Some file -> (
@@ -232,30 +267,36 @@ let load_spec ~bench ~use_cases ~seed ~spec_file =
     | Error msg -> Error msg)
 
 let run_map bench use_cases seed freq slots nis xy refine sequential wc no_prune jobs vhdl
-    systemc spec_file no_cache cache_dir trace metrics =
+    systemc dump certify spec_file no_cache cache_dir trace metrics =
   apply_jobs jobs;
   apply_cache no_cache cache_dir;
   apply_obs trace metrics;
   match load_spec ~bench ~use_cases ~seed ~spec_file with
   | Error msg -> `Error (false, msg)
   | Ok spec -> (
-    let both vhdl_res m =
-      match vhdl_res with `Ok () -> emit_systemc systemc spec.DF.name m | e -> e
+    let emits m =
+      match emit_vhdl vhdl spec.DF.name m with
+      | `Ok () -> (
+        match emit_systemc systemc spec.DF.name m with `Ok () -> emit_dump dump m | e -> e)
+      | e -> e
     in
     let config = make_config ~freq ~slots ~nis ~xy in
     let parallel = not sequential in
     if wc then
-      match WC.map_design ~config ~parallel spec.DF.use_cases with
-      | Error failure -> `Error (false, Format.asprintf "%a" Mapping.pp_failure failure)
-      | Ok m ->
-        print_design (spec.DF.name ^ " (WC method)") m true;
-        both (emit_vhdl vhdl spec.DF.name m) m
+      if certify then `Error (false, "--certify applies to the multi-use-case flow, not --wc")
+      else
+        match WC.map_design ~config ~parallel spec.DF.use_cases with
+        | Error failure -> `Error (false, Format.asprintf "%a" Mapping.pp_failure failure)
+        | Ok m ->
+          print_design (spec.DF.name ^ " (WC method)") m true;
+          emits m
     else
-      match DF.run ~config ~parallel ~prune:(not no_prune) ~refine spec with
+      let post = if certify then Some (certify_design spec.DF.name) else None in
+      match DF.run ~config ~parallel ~prune:(not no_prune) ~refine ?post spec with
       | Error msg -> `Error (false, msg)
       | Ok d ->
         print_design spec.DF.name d.DF.mapping (DF.verified d);
-        both (emit_vhdl vhdl spec.DF.name d.DF.mapping) d.DF.mapping)
+        emits d.DF.mapping)
 
 let map_cmd =
   let doc = "Design the smallest NoC satisfying every use-case of a benchmark." in
@@ -265,7 +306,8 @@ let map_cmd =
       ret
         (const run_map $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
         $ xy_arg $ refine_arg $ sequential_arg $ wc_arg $ no_prune_arg $ jobs_arg $ vhdl_arg
-        $ systemc_arg $ spec_arg $ no_cache_arg $ cache_dir_arg $ trace_arg $ metrics_arg))
+        $ systemc_arg $ dump_arg $ certify_flag_arg $ spec_arg $ no_cache_arg $ cache_dir_arg
+        $ trace_arg $ metrics_arg))
 
 (* --- experiments -------------------------------------------------------------- *)
 
@@ -627,6 +669,69 @@ let lint_cmd =
         (const run_lint $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
        $ xy_arg $ lint_json_arg $ deep_arg $ jobs_arg $ spec_arg $ trace_arg $ metrics_arg))
 
+(* --- certify --------------------------------------------------------------------- *)
+
+let certify_json_arg =
+  let doc = "Emit the full signed certificate record as JSON." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let certify_from_arg =
+  let doc =
+    "Audit a Mapping_codec dump (see $(b,map --dump)) instead of designing in-process.  The \
+     dump's own recorded configuration is certified; the spec or benchmark still supplies the \
+     traffic the design claims to serve."
+  in
+  Arg.(value & opt (some string) None & info [ "from" ] ~docv:"DUMP" ~doc)
+
+let run_certify bench use_cases seed freq slots nis xy json from jobs spec_file no_cache
+    cache_dir trace metrics =
+  apply_jobs jobs;
+  apply_cache no_cache cache_dir;
+  apply_obs trace metrics;
+  match load_spec ~bench ~use_cases ~seed ~spec_file with
+  | Error msg -> `Error (false, msg)
+  | Ok spec -> (
+    let module C = Noc_analysis.Certify in
+    let finish cert =
+      if json then print_endline (Noc_export.Json.to_string ~indent:2 (C.to_json cert))
+      else print_string (C.render_text cert);
+      match C.exit_code cert with 0 -> `Ok () | n -> exit n
+    in
+    match from with
+    | Some file -> (
+      let text =
+        try Ok (In_channel.with_open_bin file In_channel.input_all)
+        with Sys_error msg -> Error msg
+      in
+      match text with
+      | Error msg -> `Error (false, msg)
+      | Ok text -> (
+        match Noc_core.Mapping_codec.decode text with
+        | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+        | Ok mapping ->
+          let all, _, _ = DF.expand spec in
+          finish (C.certify ~name:spec.DF.name mapping all)))
+    | None -> (
+      let config = make_config ~freq ~slots ~nis ~xy in
+      match DF.run ~config spec with
+      | Error msg -> `Error (false, msg)
+      | Ok d -> finish (C.certify ~name:spec.DF.name d.DF.mapping d.DF.all_use_cases)))
+
+let certify_cmd =
+  let doc =
+    "Independently certify a mapped design: re-derive slot exclusivity, reserved bandwidth, \
+     route well-formedness, NI bounds and static worst-case latency bounds on a code path \
+     separate from the mapping engines, and emit a signed certificate.  Exits 2 on any finding, \
+     0 when clean."
+  in
+  Cmd.v
+    (Cmd.info "certify" ~doc)
+    Term.(
+      ret
+        (const run_certify $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg
+       $ nis_arg $ xy_arg $ certify_json_arg $ certify_from_arg $ jobs_arg $ spec_arg
+       $ no_cache_arg $ cache_dir_arg $ trace_arg $ metrics_arg))
+
 (* --- cache ------------------------------------------------------------------------ *)
 
 let cache_action_arg =
@@ -713,8 +818,8 @@ let remap_json_arg =
   let doc = "Write the remapped design as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let run_remap from_file to_file reference freq slots nis xy sequential no_prune jobs json
-    no_cache cache_dir trace metrics =
+let run_remap from_file to_file reference freq slots nis xy sequential no_prune jobs json dump
+    certify no_cache cache_dir trace metrics =
   apply_jobs jobs;
   apply_cache no_cache cache_dir;
   apply_obs trace metrics;
@@ -755,7 +860,16 @@ let run_remap from_file to_file reference freq slots nis xy sequential no_prune 
               output_string oc (Noc_export.Design_export.design_to_string o.design));
           Format.printf "wrote %s@." file
         | None -> ());
-        `Ok ()))
+        match emit_dump dump o.design.DF.mapping with
+        | `Ok () ->
+          (* Certify the stitched design as a whole — not just the dirty
+             groups the remapper re-routed. *)
+          if certify then
+            match certify_design new_spec.DF.name o.design with
+            | Ok () -> `Ok ()
+            | Error msg -> `Error (false, msg)
+          else `Ok ()
+        | e -> e))
 
 let remap_cmd =
   let doc =
@@ -769,7 +883,7 @@ let remap_cmd =
       ret
         (const run_remap $ remap_from_arg $ remap_to_arg $ reference_arg $ freq_arg $ slots_arg
        $ nis_arg $ xy_arg $ sequential_arg $ no_prune_arg $ jobs_arg $ remap_json_arg
-       $ no_cache_arg $ cache_dir_arg $ trace_arg $ metrics_arg))
+       $ dump_arg $ certify_flag_arg $ no_cache_arg $ cache_dir_arg $ trace_arg $ metrics_arg))
 
 (* --- obs ------------------------------------------------------------------------- *)
 
@@ -1096,6 +1210,7 @@ let () =
             explore_cmd;
             report_cmd;
             lint_cmd;
+            certify_cmd;
             remap_cmd;
             cache_cmd;
             obs_cmd;

@@ -20,7 +20,10 @@ let analyze_doc ?(config = Config.default) ?(deep = false) doc =
       if not deep then []
       else
         match DF.run ~config spec with
-        | Ok d -> Design_lint.check d.DF.mapping d.DF.all_use_cases
+        | Ok d ->
+          Design_lint.check d.DF.mapping d.DF.all_use_cases
+          @ Certify.to_diagnostics
+              (Certify.certify ~name:spec.DF.name d.DF.mapping d.DF.all_use_cases)
         | Error msg -> [ D.vf ~pass:"mapping" Error "%s" msg ]
     in
     {

@@ -2,8 +2,9 @@
 
     Runs the spec well-formedness passes ({!Spec_lint.check}), the
     feasibility passes ({!Spec_lint.feasibility}) and — in deep mode —
-    the post-mapping design passes ({!Design_lint.check}) over one
-    document, and renders the combined findings as text or JSON. *)
+    the post-mapping design passes ({!Design_lint.check}) plus the
+    independent certificate checker ({!Certify}) over one document,
+    and renders the combined findings as text or JSON. *)
 
 type report = {
   diagnostics : Diagnostic.t list;
@@ -15,8 +16,9 @@ type report = {
 val analyze_doc :
   ?config:Noc_arch.Noc_config.t -> ?deep:bool -> Noc_core.Spec_parser.doc -> report
 (** Analyze a located document.  [deep] (default [false]) additionally
-    runs the full design flow and the post-mapping passes on the
-    result; a mapping failure surfaces as a [mapping] error. *)
+    runs the full design flow, the post-mapping passes and the
+    {!Certify} checker on the result; a mapping failure surfaces as a
+    [mapping] error, certificate findings as [certify-*] errors. *)
 
 val analyze_spec :
   ?config:Noc_arch.Noc_config.t -> ?deep:bool -> Noc_core.Design_flow.spec -> report

@@ -69,6 +69,7 @@ val run :
   ?parallel:bool ->
   ?prune:bool ->
   ?refine:bool ->
+  ?post:(t -> (unit, string) result) ->
   spec ->
   (t, string) result
 (** Run all phases.  [parallel] (default true) lets the phase-3 mesh
@@ -77,8 +78,12 @@ val run :
     true) skips mesh sizes whose {!Feasibility} certificate proves them
     infeasible — same result, fewer attempts.  [refine] (default
     false) additionally runs the simulated-annealing placement
-    refinement.  Fails with a readable message when no mesh up to the
-    growth cap maps the design. *)
+    refinement.  [post] runs on the assembled design as an optional
+    final phase (traced as [phase:post]); an [Error] from it fails the
+    whole run.  The CLI plugs independent certification
+    ([Noc_analysis.Certify], which this library cannot depend on) in
+    here.  Fails with a readable message when no mesh up to the growth
+    cap maps the design. *)
 
 val switch_count : t -> int
 (** Switches in the designed NoC (the §6.2 metric). *)

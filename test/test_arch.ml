@@ -535,6 +535,56 @@ let test_turn_xy_legality () =
   in
   Alcotest.(check bool) "yx is illegal" false (Turn.xy_legal m yx)
 
+(* --- bitmask: next_set_from edge cases (PR 8 primitive) ------------------ *)
+
+module Bitmask = Noc_arch.Bitmask
+
+let test_bitmask_next_set_from_empty () =
+  let m = Bitmask.create ~slots:32 ~full:false in
+  Alcotest.(check (option int)) "from 0" None (Bitmask.next_set_from m 0);
+  Alcotest.(check (option int)) "from mid" None (Bitmask.next_set_from m 17);
+  Alcotest.(check (option int)) "from last" None (Bitmask.next_set_from m 31)
+
+let test_bitmask_next_set_from_no_wrap () =
+  let m = Bitmask.create ~slots:32 ~full:false in
+  Bitmask.set m 2;
+  (* At or below the bit: found.  Above it: no cyclic wrap — the wheel
+     idiom is an explicit second probe from 0. *)
+  Alcotest.(check (option int)) "from 0" (Some 2) (Bitmask.next_set_from m 0);
+  Alcotest.(check (option int)) "inclusive at the bit" (Some 2) (Bitmask.next_set_from m 2);
+  Alcotest.(check (option int)) "no wrap past the bit" None (Bitmask.next_set_from m 3);
+  Alcotest.(check (option int)) "wheel: probe again from 0" (Some 2)
+    (match Bitmask.next_set_from m 3 with
+    | Some _ as hit -> hit
+    | None -> Bitmask.next_set_from m 0)
+
+let test_bitmask_next_set_from_bounds () =
+  let m = Bitmask.create ~slots:32 ~full:true in
+  Alcotest.(check (option int)) "full mask returns the probe" (Some 13)
+    (Bitmask.next_set_from m 13);
+  Alcotest.(check (option int)) "last index" (Some 31) (Bitmask.next_set_from m 31);
+  (* Probing at or past the size is simply empty, not an error... *)
+  Alcotest.(check (option int)) "at size" None (Bitmask.next_set_from m 32);
+  Alcotest.(check (option int)) "past size" None (Bitmask.next_set_from m 1000);
+  (* ...but a negative index is a caller bug. *)
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Bitmask.next_set_from: negative index") (fun () ->
+      ignore (Bitmask.next_set_from m (-1)))
+
+let test_bitmask_next_set_from_multiword () =
+  (* 100 slots spans multiple 62-bit words: the scan must cross word
+     boundaries in both the set and the empty stretches. *)
+  let m = Bitmask.create ~slots:100 ~full:false in
+  Bitmask.set m 70;
+  Bitmask.set m 99;
+  Alcotest.(check (option int)) "cross into second word" (Some 70) (Bitmask.next_set_from m 0);
+  Alcotest.(check (option int)) "from word boundary" (Some 70) (Bitmask.next_set_from m 62);
+  Alcotest.(check (option int)) "between the bits" (Some 99) (Bitmask.next_set_from m 71);
+  Alcotest.(check (option int)) "final bit" (Some 99) (Bitmask.next_set_from m 99);
+  Bitmask.clear m 70;
+  Bitmask.clear m 99;
+  Alcotest.(check (option int)) "cleared again" None (Bitmask.next_set_from m 0)
+
 let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_tdma_reserved_starts_were_free ]
 
 let () =
@@ -630,6 +680,14 @@ let () =
           Alcotest.test_case "detects cycle" `Quick test_turn_detects_cycle;
           Alcotest.test_case "dependency dedup" `Quick test_turn_dependencies_dedup;
           Alcotest.test_case "xy legality" `Quick test_turn_xy_legality;
+        ] );
+      ( "bitmask",
+        [
+          Alcotest.test_case "next_set_from empty" `Quick test_bitmask_next_set_from_empty;
+          Alcotest.test_case "next_set_from no wrap" `Quick test_bitmask_next_set_from_no_wrap;
+          Alcotest.test_case "next_set_from bounds" `Quick test_bitmask_next_set_from_bounds;
+          Alcotest.test_case "next_set_from multiword" `Quick
+            test_bitmask_next_set_from_multiword;
         ] );
       ("properties", qcheck_cases);
     ]
