@@ -387,14 +387,17 @@ let bench_json_file = "BENCH_nocmap.json"
    at exit.  The store is versioned by each binary's own build
    fingerprint — not this bench harness's — so the counters are summed
    over every version found in the directory. *)
-let disk_tier_rows () =
+let nocmap_exe () =
   let candidates =
     [ Filename.concat (Filename.dirname Sys.executable_name)
         (Filename.concat ".." (Filename.concat "bin" "nocmap.exe"));
       Filename.concat "_build" (Filename.concat "default" (Filename.concat "bin" "nocmap.exe"))
     ]
   in
-  match List.find_opt Sys.file_exists candidates with
+  List.find_opt Sys.file_exists candidates
+
+let disk_tier_rows () =
+  match nocmap_exe () with
   | None ->
     prerr_endline "disk-tier bench skipped: nocmap.exe not found next to the bench binary";
     []
@@ -435,6 +438,115 @@ let disk_tier_rows () =
         ("cache:disk-warm-hits", float_of_int persisted_disk_hits)
       ])
 
+(* The serve daemon measured end to end, over real sockets and real
+   processes: a nocmap subprocess serves, nocmap client subprocesses
+   drive it (the handshake pins the build fingerprint to the
+   executable, so the server and its load driver must be the same
+   binary — this bench harness merely orchestrates and parses the
+   [client bench] JSON line).  Two regimes bracket the daemon's value:
+   the warm-cache coalesced throughput of 8 concurrent connections
+   re-requesting one D2 problem, against the naive cold throughput of a
+   cache-disabled server solving every request from scratch. *)
+let serve_rows () =
+  match nocmap_exe () with
+  | None ->
+    prerr_endline "serve bench skipped: nocmap.exe not found next to the bench binary";
+    []
+  | Some exe -> (
+    let sock =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "nocmap-bench-serve-%d.sock" (Unix.getpid ()))
+    in
+    let start_server extra_flags =
+      let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+      let argv =
+        Array.of_list ([ exe; "serve"; "--socket"; sock ] @ extra_flags)
+      in
+      let pid = Unix.create_process exe argv null null null in
+      Unix.close null;
+      (* Wait until the daemon answers a ping (or give up). *)
+      let ping =
+        Printf.sprintf "%s client ping --socket %s >/dev/null 2>&1" (Filename.quote exe)
+          (Filename.quote sock)
+      in
+      let rec up tries =
+        if tries = 0 then false
+        else if Sys.command ping = 0 then true
+        else begin
+          Unix.sleepf 0.05;
+          up (tries - 1)
+        end
+      in
+      if up 100 then Some pid
+      else begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        None
+      end
+    in
+    let stop_server pid =
+      ignore
+        (Sys.command
+           (Printf.sprintf "%s client shutdown --socket %s >/dev/null 2>&1"
+              (Filename.quote exe) (Filename.quote sock)));
+      ignore (Unix.waitpid [] pid)
+    in
+    let client_bench ~connections ~repeat =
+      let cmd =
+        Printf.sprintf
+          "%s client bench d2 --socket %s --op explore --connections %d --repeat %d 2>/dev/null"
+          (Filename.quote exe) (Filename.quote sock) connections repeat
+      in
+      let ic = Unix.open_process_in cmd in
+      let rec last_json acc =
+        match input_line ic with
+        | line -> last_json (if String.length line > 0 && line.[0] = '{' then Some line else acc)
+        | exception End_of_file -> acc
+      in
+      let line = last_json None in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, Some line -> (
+        match Noc_export.Json.parse line with
+        | Ok stats ->
+          let field name =
+            Option.bind (Noc_export.Json.member name stats) Noc_export.Json.to_float
+          in
+          Some (field "throughput_rps", field "p50_ms", field "p99_ms")
+        | Error _ -> None)
+      | _ -> None
+    in
+    let with_server flags k =
+      match start_server flags with
+      | None ->
+        prerr_endline "serve bench skipped: the daemon did not come up";
+        None
+      | Some pid ->
+        let r = k () in
+        stop_server pid;
+        r
+    in
+    let warm =
+      with_server [ "--linger-ms"; "5" ] (fun () ->
+          (* Prime the cache, then measure coalesced warm throughput. *)
+          ignore (client_bench ~connections:1 ~repeat:1);
+          client_bench ~connections:8 ~repeat:5)
+    in
+    let cold =
+      with_server [ "--no-cache" ] (fun () -> client_bench ~connections:1 ~repeat:3)
+    in
+    let rows = ref [] in
+    let add name v = match v with Some v -> rows := (name, v) :: !rows | None -> () in
+    (match warm with
+    | Some (rps, p50, p99) ->
+      add "serve:req-per-sec" rps;
+      add "serve:p50-latency-ns" (Option.map (fun ms -> ms *. 1e6) p50);
+      add "serve:p99-latency-ns" (Option.map (fun ms -> ms *. 1e6) p99)
+    | None -> ());
+    (match cold with
+    | Some (rps, _, _) -> add "serve:req-per-sec-nocache-cold" rps
+    | None -> ());
+    List.rev !rows)
+
 let write_json rows =
   (* Counters from the cache benchmarks (the rest of the suite runs
      with the cache disabled), recorded next to the timings so the
@@ -461,7 +573,7 @@ let write_json rows =
       (fun (n, v) -> if v = 0 then None else Some ("obs:" ^ n, float_of_int v))
       snap.Noc_obs.Metrics.counters
   in
-  let rows = rows @ counters @ obs_rows @ disk_tier_rows () in
+  let rows = rows @ counters @ obs_rows @ disk_tier_rows () @ serve_rows () in
   Out_channel.with_open_text bench_json_file (fun oc ->
       output_string oc "{\n";
       List.iteri

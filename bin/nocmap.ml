@@ -245,6 +245,13 @@ let emit_dump path mapping =
       `Ok ()
     | None -> `Error (false, "this mapping cannot be encoded (mesh carries express channels)"))
 
+let map_json_arg =
+  let doc =
+    "Write the designed NoC as JSON to $(docv) — the exact bytes a $(b,nocmap serve) daemon \
+     returns for the same map request, so the two can be compared with $(b,cmp)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
 let certify_design name (d : DF.t) =
   let module C = Noc_analysis.Certify in
   let cert = C.certify ~name d.DF.mapping d.DF.all_use_cases in
@@ -267,7 +274,7 @@ let load_spec ~bench ~use_cases ~seed ~spec_file =
     | Error msg -> Error msg)
 
 let run_map bench use_cases seed freq slots nis xy refine sequential wc no_prune jobs vhdl
-    systemc dump certify spec_file no_cache cache_dir trace metrics =
+    systemc dump certify json spec_file no_cache cache_dir trace metrics =
   apply_jobs jobs;
   apply_cache no_cache cache_dir;
   apply_obs trace metrics;
@@ -284,6 +291,8 @@ let run_map bench use_cases seed freq slots nis xy refine sequential wc no_prune
     let parallel = not sequential in
     if wc then
       if certify then `Error (false, "--certify applies to the multi-use-case flow, not --wc")
+      else if json <> None then
+        `Error (false, "--json applies to the multi-use-case flow, not --wc")
       else
         match WC.map_design ~config ~parallel spec.DF.use_cases with
         | Error failure -> `Error (false, Format.asprintf "%a" Mapping.pp_failure failure)
@@ -296,6 +305,12 @@ let run_map bench use_cases seed freq slots nis xy refine sequential wc no_prune
       | Error msg -> `Error (false, msg)
       | Ok d ->
         print_design spec.DF.name d.DF.mapping (DF.verified d);
+        (match json with
+        | Some file ->
+          Out_channel.with_open_text file (fun oc ->
+              output_string oc (Noc_serve.Payload.design d));
+          Format.printf "wrote %s@." file
+        | None -> ());
         emits d.DF.mapping)
 
 let map_cmd =
@@ -306,8 +321,8 @@ let map_cmd =
       ret
         (const run_map $ bench_arg $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg
         $ xy_arg $ refine_arg $ sequential_arg $ wc_arg $ no_prune_arg $ jobs_arg $ vhdl_arg
-        $ systemc_arg $ dump_arg $ certify_flag_arg $ spec_arg $ no_cache_arg $ cache_dir_arg
-        $ trace_arg $ metrics_arg))
+        $ systemc_arg $ dump_arg $ certify_flag_arg $ map_json_arg $ spec_arg $ no_cache_arg
+        $ cache_dir_arg $ trace_arg $ metrics_arg))
 
 (* --- experiments -------------------------------------------------------------- *)
 
@@ -528,22 +543,9 @@ let explore_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let points_to_json points =
-  let module J = Noc_export.Json in
-  let point p =
-    let open Noc_power.Design_space in
-    J.Obj
-      [
-        ("topology", J.String (match p.topology with Mesh.Mesh -> "mesh" | Mesh.Torus -> "torus"));
-        ("slots", J.Int p.slots);
-        ("freq_mhz", J.Float p.freq_mhz);
-        ("switches", (match p.switches with Some s -> J.Int s | None -> J.Null));
-        ("area_mm2", (match p.area_mm2 with Some a -> J.Float a | None -> J.Null));
-        ("power_mw", (match p.power_mw with Some w -> J.Float w | None -> J.Null));
-        ("start", J.String (match p.start with Warm -> "warm" | Cold -> "cold"));
-      ]
-  in
-  J.to_string ~indent:2 (J.Obj [ ("points", J.List (List.map point points)) ])
+(* The rendering lives in [Noc_serve.Payload] so a served explore
+   response and this file are byte-identical by construction. *)
+let points_to_json = Noc_serve.Payload.points
 
 let run_explore bench use_cases seed torus cold no_prune jobs json spec_file no_cache cache_dir
     trace metrics =
@@ -885,6 +887,235 @@ let remap_cmd =
        $ nis_arg $ xy_arg $ sequential_arg $ no_prune_arg $ jobs_arg $ remap_json_arg
        $ dump_arg $ certify_flag_arg $ no_cache_arg $ cache_dir_arg $ trace_arg $ metrics_arg))
 
+(* --- serve / client -------------------------------------------------------------- *)
+
+module Protocol = Noc_serve.Protocol
+module Server = Noc_serve.Server
+module Client = Noc_serve.Client
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let max_queue_arg =
+  let doc =
+    "Pending-request cap across all clients; requests beyond it are shed with an \
+     $(i,overloaded) failure carrying $(b,retry_after_ms)."
+  in
+  Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+
+let max_inflight_arg =
+  let doc = "Per-client cap on queued requests; beyond it requests fail with $(i,too-many-inflight)." in
+  Arg.(value & opt int 8 & info [ "max-inflight" ] ~docv:"N" ~doc)
+
+let linger_ms_arg =
+  let doc =
+    "Hold a non-empty batch open this long before executing, so concurrent clients' requests \
+     coalesce into one batch.  0 executes as soon as the sockets are drained (requests \
+     arriving while a batch computes still form the next batch naturally)."
+  in
+  Arg.(value & opt float 0.0 & info [ "linger-ms" ] ~docv:"MS" ~doc)
+
+let retry_after_ms_arg =
+  let doc = "Backoff hint attached to load-shed failures." in
+  Arg.(value & opt int 50 & info [ "retry-after-ms" ] ~docv:"MS" ~doc)
+
+let run_serve socket max_queue max_inflight linger_ms retry_after_ms jobs no_cache cache_dir
+    trace metrics =
+  apply_jobs jobs;
+  apply_cache no_cache cache_dir;
+  apply_obs trace metrics;
+  let cfg =
+    {
+      Server.socket_path = socket;
+      max_queue;
+      max_inflight;
+      linger_ms;
+      retry_after_ms;
+      jobs = None;
+      install_signals = true;
+    }
+  in
+  Format.printf "nocmap serve: listening on %s (build %s)@." socket
+    (Noc_util.Build_info.fingerprint ());
+  Format.print_flush ();
+  match Server.run cfg with
+  | Ok () ->
+    Format.printf "nocmap serve: drained and stopped@.";
+    `Ok ()
+  | Error msg -> `Error (false, msg)
+
+let serve_cmd =
+  let doc =
+    "Serve mapping requests over a Unix-domain socket: line-delimited JSON requests \
+     ($(i,map), $(i,explore), $(i,lint), $(i,certify), $(i,remap)) from concurrent clients, \
+     scheduled in batches onto the shared domain pool with single-flight coalescing of \
+     identical problems, merged explore grids, and admission control.  Responses are \
+     byte-identical to the one-shot CLI's outputs.  SIGTERM (or a $(i,shutdown) request) \
+     drains in-flight work, flushes the persistent cache tier and exits cleanly."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run_serve $ socket_arg $ max_queue_arg $ max_inflight_arg $ linger_ms_arg
+       $ retry_after_ms_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ trace_arg $ metrics_arg))
+
+(* The client ships spec text, never a file path: a benchmark name
+   becomes its canonical [Spec_parser.to_text] rendering (which the
+   one-shot commands' spec path also parses), and [--spec FILE] ships
+   the raw bytes with [parse_file]'s fallback name — so the daemon
+   sees the exact problem the equivalent one-shot invocation sees and
+   responses compare byte for byte. *)
+let client_spec_text ~bench ~use_cases ~seed ~spec_file =
+  match spec_file with
+  | Some file -> (
+    try Ok (Filename.remove_extension (Filename.basename file),
+            In_channel.with_open_bin file In_channel.input_all)
+    with Sys_error msg -> Error msg)
+  | None -> (
+    match load_benchmark ~name:bench ~use_cases ~seed with
+    | Ok ucs ->
+      let spec = DF.spec_of_use_cases ~name:bench ucs in
+      Ok (spec.DF.name, Noc_core.Spec_parser.to_text spec)
+    | Error msg -> Error msg)
+
+let client_action_arg =
+  let doc =
+    "What to ask the daemon: $(b,ping), $(b,map), $(b,explore), $(b,lint), $(b,certify), \
+     $(b,remap), $(b,stats), $(b,shutdown), or $(b,bench) (the multi-connection load driver)."
+  in
+  Arg.(
+    value
+    & pos 0
+        (enum
+           [
+             ("ping", `Ping); ("map", `Map); ("explore", `Explore); ("lint", `Lint);
+             ("certify", `Certify); ("remap", `Remap); ("stats", `Stats);
+             ("shutdown", `Shutdown); ("bench", `Bench);
+           ])
+        `Ping
+    & info [] ~docv:"ACTION" ~doc)
+
+let client_bench_arg =
+  let doc = "Benchmark for map/explore/lint/certify/bench (ignored with --spec)." in
+  Arg.(value & pos 1 string "example1" & info [] ~docv:"BENCHMARK" ~doc)
+
+let client_out_arg =
+  let doc = "Write the response payload to $(docv) instead of stdout (exact bytes, cmp-able)." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let client_from_arg =
+  let doc = "Old-revision spec file (remap only)." in
+  Arg.(value & opt (some string) None & info [ "from" ] ~docv:"OLD.spec" ~doc)
+
+let client_to_arg =
+  let doc = "New-revision spec file (remap only)." in
+  Arg.(value & opt (some string) None & info [ "to" ] ~docv:"NEW.spec" ~doc)
+
+let connections_arg =
+  let doc = "Concurrent connections for $(b,bench)." in
+  Arg.(value & opt int 8 & info [ "connections" ] ~docv:"N" ~doc)
+
+let repeat_arg =
+  let doc = "Rounds per connection for $(b,bench)." in
+  Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"N" ~doc)
+
+let bench_op_arg =
+  let doc = "Operation the $(b,bench) load driver issues." in
+  Arg.(
+    value
+    & opt (enum [ ("map", `Map); ("explore", `Explore); ("lint", `Lint); ("certify", `Certify) ])
+        `Map
+    & info [ "op" ] ~docv:"OP" ~doc)
+
+let run_client action socket bench use_cases seed freq slots nis xy deep torus from_file to_file
+    out connections repeat bench_op spec_file =
+  let config = { Protocol.freq_mhz = freq; slots; nis_per_switch = nis; xy } in
+  let spec_op kind =
+    match client_spec_text ~bench ~use_cases ~seed ~spec_file with
+    | Error msg -> Error msg
+    | Ok (name, spec) -> (
+      match kind with
+      | `Map -> Ok (Protocol.Map { name; spec; config })
+      | `Explore ->
+        Ok (Protocol.Explore { name; spec; config; frequencies = None; slot_counts = None; torus })
+      | `Lint -> Ok (Protocol.Lint { name; spec; config; deep })
+      | `Certify -> Ok (Protocol.Certify { name; spec; config }))
+  in
+  let op =
+    match action with
+    | `Ping -> Ok Protocol.Ping
+    | `Stats -> Ok Protocol.Stats
+    | `Shutdown -> Ok Protocol.Shutdown
+    | (`Map | `Explore | `Lint | `Certify) as kind -> spec_op kind
+    | `Remap -> (
+      match (from_file, to_file) with
+      | Some f, Some t -> (
+        let read file =
+          try Ok (Filename.remove_extension (Filename.basename file),
+                  In_channel.with_open_bin file In_channel.input_all)
+          with Sys_error msg -> Error msg
+        in
+        match (read f, read t) with
+        | Ok (from_name, from_spec), Ok (to_name, to_spec) ->
+          Ok (Protocol.Remap { from_name; from_spec; to_name; to_spec; config })
+        | Error msg, _ | _, Error msg -> Error msg)
+      | _ -> Error "client remap requires --from and --to")
+    | `Bench -> spec_op bench_op
+  in
+  match op with
+  | Error msg -> `Error (false, msg)
+  | Ok op -> (
+    match action with
+    | `Bench -> (
+      match Client.drive ~socket ~connections ~repeat [ op ] with
+      | Ok stats ->
+        print_endline (Client.stats_to_json stats);
+        `Ok ()
+      | Error msg -> `Error (false, msg))
+    | _ -> (
+      match Client.connect ~socket () with
+      | Error msg -> `Error (false, msg)
+      | Ok conn -> (
+        let finish r =
+          Client.close conn;
+          r
+        in
+        match Client.request conn op with
+        | Error msg -> finish (`Error (false, msg))
+        | Ok (Protocol.Failure { code; message; _ }) ->
+          finish
+            (`Error
+               (false,
+                Printf.sprintf "%s: %s" (Protocol.error_code_to_string code) message))
+        | Ok (Protocol.Result { payload; _ }) ->
+          (match out with
+          | Some file ->
+            Out_channel.with_open_text file (fun oc -> output_string oc payload);
+            Format.printf "wrote %s (%d bytes)@." file (String.length payload)
+          | None -> print_string payload);
+          finish (`Ok ()))))
+
+let client_spec_file_arg =
+  let doc = "Send the raw contents of $(docv) as the spec instead of a named benchmark." in
+  Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE" ~doc)
+
+let client_cmd =
+  let doc =
+    "Talk to a running $(b,nocmap serve) daemon: issue one request and print (or $(b,--out)) \
+     the payload — byte-identical to the equivalent one-shot command's output — or drive a \
+     multi-connection load test with $(b,bench)."
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(
+      ret
+        (const run_client $ client_action_arg $ socket_arg $ client_bench_arg
+       $ use_cases_arg $ seed_arg $ freq_arg $ slots_arg $ nis_arg $ xy_arg $ deep_arg
+       $ torus_axis_arg $ client_from_arg $ client_to_arg $ client_out_arg $ connections_arg
+       $ repeat_arg $ bench_op_arg $ client_spec_file_arg))
+
 (* --- obs ------------------------------------------------------------------------- *)
 
 module J = Noc_export.Json
@@ -1077,10 +1308,45 @@ let run_obs_stats metrics_file json =
     print_string (if json then Metrics.render_json snap else Metrics.render_text snap);
     `Ok ()
 
-let run_obs_summary trace_file =
-  match trace_file with
-  | None -> `Error (false, "obs summary requires --trace FILE")
-  | Some file -> (
+(* The metrics half of [obs summary]: pool and serve health at a
+   glance — worker/utilization/queue gauges first, then every
+   histogram with its percentiles. *)
+let summarize_metrics file =
+  match parse_json_file file with
+  | Error msg -> Error msg
+  | Ok v -> (
+    match snapshot_of_json v with
+    | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+    | Ok snap ->
+      let gauges = snap.Metrics.gauges in
+      if gauges <> [] then begin
+        Printf.printf "%-28s %14s\n" "gauge" "value";
+        List.iter (fun (n, v) -> Printf.printf "%-28s %14.3f\n" n v) gauges
+      end;
+      if snap.Metrics.histograms <> [] then begin
+        Printf.printf "%-28s %10s %14s %14s %14s\n" "histogram" "count" "p50" "p99" "max";
+        List.iter
+          (fun (n, h) ->
+            Printf.printf "%-28s %10d %14.3f %14.3f %14.3f\n" n h.Metrics.count h.Metrics.p50
+              h.Metrics.p99 h.Metrics.max)
+          snap.Metrics.histograms
+      end;
+      Ok ())
+
+let run_obs_summary trace_file metrics_file =
+  let metrics_res =
+    match metrics_file with
+    | None -> `Ok ()
+    | Some file -> (
+      match summarize_metrics file with Ok () -> `Ok () | Error msg -> `Error (false, msg))
+  in
+  match (metrics_res, trace_file) with
+  | (`Error _ as e), _ -> e
+  | `Ok (), None ->
+    if metrics_file = None then
+      `Error (false, "obs summary requires --trace FILE and/or --metrics FILE")
+    else `Ok ()
+  | `Ok (), Some file -> (
     match parse_json_file file with
     | Error msg -> `Error (false, msg)
     | Ok v -> (
@@ -1176,8 +1442,14 @@ let obs_stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run_obs_stats $ obs_metrics_arg $ obs_json_arg))
 
 let obs_summary_cmd =
-  let doc = "Aggregate a trace file per span name: count, total/mean/max wall ms, CPU ms." in
-  Cmd.v (Cmd.info "summary" ~doc) Term.(ret (const run_obs_summary $ obs_trace_arg))
+  let doc =
+    "Aggregate observability artifacts: per-span wall/CPU totals from a $(b,--trace) file, \
+     and gauge/histogram health (pool workers, utilization, queue depths, serve latency) from \
+     a $(b,--metrics) file."
+  in
+  Cmd.v
+    (Cmd.info "summary" ~doc)
+    Term.(ret (const run_obs_summary $ obs_trace_arg $ obs_metrics_arg))
 
 let obs_validate_cmd =
   let doc =
@@ -1213,5 +1485,7 @@ let () =
             certify_cmd;
             remap_cmd;
             cache_cmd;
+            serve_cmd;
+            client_cmd;
             obs_cmd;
           ]))

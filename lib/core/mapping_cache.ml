@@ -47,6 +47,11 @@ let stats () =
   if Atomic.get store_cell <> None then Result_cache.stats (force_store ())
   else Result_cache.zero_stats
 
+let flush () =
+  match Atomic.get store_cell with
+  | Some s -> Result_cache.persist_stats s
+  | None -> ()
+
 
 (* --- canonical problem digest ------------------------------------------- *)
 

@@ -41,6 +41,12 @@ val dir : unit -> string option
 val stats : unit -> Noc_util.Result_cache.stats
 (** Counters accumulated by this process. *)
 
+val flush : unit -> unit
+(** Fold this process's counters into the persistent tier's [STATS]
+    file {e now} (no-op without {!set_dir}).  The same fold runs
+    [at_exit]; the serve daemon calls this during graceful shutdown so
+    the disk tier is consistent before the socket closes. *)
+
 val clear : unit -> unit
 (** Drop the memory tier and this build's disk entries. *)
 

@@ -1,0 +1,178 @@
+module J = Noc_export.Json
+module Clock = Noc_obs.Clock
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+}
+
+let connect ?build ~socket () =
+  match Unix.socket PF_UNIX SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+    match Unix.connect fd (ADDR_UNIX socket) with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s: %s" socket (Unix.error_message e))
+    | () -> (
+      let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+      let t = { fd; ic; oc; next_id = 0 } in
+      let fail msg =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error msg
+      in
+      match input_line ic with
+      | exception End_of_file -> fail "server closed the connection before greeting"
+      | exception Sys_error msg -> fail msg
+      | greeting -> (
+        match Protocol.check_greeting greeting with
+        | Error msg -> fail msg
+        | Ok _server_build -> (
+          output_string oc (Protocol.hello ?build ());
+          flush oc;
+          match input_line ic with
+          | exception End_of_file -> fail "server closed the connection during handshake"
+          | exception Sys_error msg -> fail msg
+          | verdict -> (
+            match Protocol.hello_verdict verdict with
+            | Ok () -> Ok t
+            | Error msg -> fail msg)))))
+
+let send t op =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  output_string t.oc (Protocol.encode_request { Protocol.id; op });
+  flush t.oc;
+  id
+
+let recv t =
+  match input_line t.ic with
+  | exception End_of_file -> Error "server closed the connection"
+  | exception Sys_error msg -> Error msg
+  | line -> Protocol.decode_response line
+
+let request t op =
+  let id = send t op in
+  let rec await () =
+    match recv t with
+    | Error _ as e -> e
+    | Ok response when Protocol.response_id response = id -> Ok response
+    | Ok _ -> await ()
+  in
+  await ()
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* --- load driver --------------------------------------------------------- *)
+
+type load_stats = {
+  requests : int;
+  ok : int;
+  coalesced : int;
+  shed_retries : int;
+  failures : int;
+  payload_bytes : int;
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+type worker_tally = {
+  mutable w_ok : int;
+  mutable w_coalesced : int;
+  mutable w_shed : int;
+  mutable w_failures : int;
+  mutable w_bytes : int;
+  mutable w_latencies : float list;  (* seconds, newest first *)
+}
+
+let max_shed_retries = 1000
+
+let run_connection ?build ~socket ~repeat ops =
+  match connect ?build ~socket () with
+  | Error msg -> Error msg
+  | Ok conn ->
+    let tally =
+      { w_ok = 0; w_coalesced = 0; w_shed = 0; w_failures = 0; w_bytes = 0; w_latencies = [] }
+    in
+    let rec one_op retries op =
+      let started = Clock.wall () in
+      match request conn op with
+      | Error msg ->
+        tally.w_failures <- tally.w_failures + 1;
+        ignore msg
+      | Ok (Protocol.Result { payload; coalesced; _ }) ->
+        tally.w_latencies <- (Clock.wall () -. started) :: tally.w_latencies;
+        tally.w_ok <- tally.w_ok + 1;
+        if coalesced then tally.w_coalesced <- tally.w_coalesced + 1;
+        tally.w_bytes <- tally.w_bytes + String.length payload
+      | Ok (Protocol.Failure { code; retry_after_ms; _ })
+        when (code = Protocol.Overloaded || code = Protocol.Too_many_inflight)
+             && retries < max_shed_retries ->
+        tally.w_shed <- tally.w_shed + 1;
+        Unix.sleepf (float_of_int (Option.value retry_after_ms ~default:10) /. 1000.);
+        one_op (retries + 1) op
+      | Ok (Protocol.Failure _) -> tally.w_failures <- tally.w_failures + 1
+    in
+    for _ = 1 to repeat do
+      List.iter (one_op 0) ops
+    done;
+    close conn;
+    Ok tally
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let drive ?build ~socket ~connections ~repeat ops =
+  let started = Clock.wall () in
+  let domains =
+    List.init connections (fun _ ->
+        Domain.spawn (fun () -> run_connection ?build ~socket ~repeat ops))
+  in
+  let outcomes = List.map Domain.join domains in
+  let elapsed_s = Clock.wall () -. started in
+  match List.find_opt Result.is_error outcomes with
+  | Some (Error msg) -> Error msg
+  | _ ->
+    let tallies = List.filter_map Result.to_option outcomes in
+    let sum f = List.fold_left (fun acc w -> acc + f w) 0 tallies in
+    let latencies =
+      Array.of_list (List.concat_map (fun w -> w.w_latencies) tallies)
+    in
+    Array.sort compare latencies;
+    let requests = sum (fun w -> w.w_ok) + sum (fun w -> w.w_failures) in
+    Ok
+      {
+        requests;
+        ok = sum (fun w -> w.w_ok);
+        coalesced = sum (fun w -> w.w_coalesced);
+        shed_retries = sum (fun w -> w.w_shed);
+        failures = sum (fun w -> w.w_failures);
+        payload_bytes = sum (fun w -> w.w_bytes);
+        elapsed_s;
+        throughput_rps = (if elapsed_s > 0. then float_of_int requests /. elapsed_s else 0.);
+        p50_ms = percentile latencies 0.5 *. 1000.;
+        p99_ms = percentile latencies 0.99 *. 1000.;
+      }
+
+let stats_to_json s =
+  J.to_string
+    (J.Obj
+       [
+         ("requests", J.Int s.requests);
+         ("ok", J.Int s.ok);
+         ("coalesced", J.Int s.coalesced);
+         ("shed_retries", J.Int s.shed_retries);
+         ("failures", J.Int s.failures);
+         ("payload_bytes", J.Int s.payload_bytes);
+         ("elapsed_s", J.Float s.elapsed_s);
+         ("throughput_rps", J.Float s.throughput_rps);
+         ("p50_ms", J.Float s.p50_ms);
+         ("p99_ms", J.Float s.p99_ms);
+       ])

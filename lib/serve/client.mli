@@ -1,0 +1,61 @@
+(** Client side of the serve protocol: handshake, synchronous
+    requests, and a multi-connection load driver (the [nocmap client]
+    subcommand and the serve bench rows are built on this).
+
+    {!connect} performs the full handshake — read the server greeting,
+    verify the protocol version, present this build's fingerprint, and
+    fail with the server's message when the builds differ (a
+    mismatched pair would not be byte-reproducible; see
+    {!Protocol.check_hello}). *)
+
+type t
+
+val connect : ?build:string -> socket:string -> unit -> (t, string) result
+(** Connect and handshake.  [build] overrides the fingerprint
+    presented to the server (tests use it to exercise the
+    version-mismatch rejection). *)
+
+val send : t -> Protocol.op -> int
+(** Fire one request (ids are assigned sequentially per connection)
+    and return its id without waiting. *)
+
+val recv : t -> (Protocol.response, string) result
+(** Read the next response line (blocking). *)
+
+val request : t -> Protocol.op -> (Protocol.response, string) result
+(** [send] then read until this request's response arrives (responses
+    to earlier pipelined ids are discarded). *)
+
+val close : t -> unit
+
+(** {2 Load driver} *)
+
+type load_stats = {
+  requests : int;        (** responses received (excluding shed retries) *)
+  ok : int;
+  coalesced : int;       (** ok responses flagged as coalesced *)
+  shed_retries : int;    (** load-shed failures that were retried *)
+  failures : int;        (** non-retryable failures *)
+  payload_bytes : int;   (** total payload bytes received *)
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+val drive :
+  ?build:string ->
+  socket:string ->
+  connections:int ->
+  repeat:int ->
+  Protocol.op list ->
+  (load_stats, string) result
+(** Open [connections] concurrent connections (one domain each); every
+    connection sends the op list [repeat] times, synchronously,
+    retrying an op after [retry_after_ms] when the server sheds it
+    ([Overloaded]/[Too_many_inflight]).  Latency percentiles are over
+    every completed request across all connections. *)
+
+val stats_to_json : load_stats -> string
+(** One-line JSON rendering (what [nocmap client bench] prints and
+    [bench/main.ml] parses). *)

@@ -1,0 +1,26 @@
+(** Canonical result payloads.
+
+    One function per operation, producing the {e exact bytes} that both
+    the one-shot CLI writes ([nocmap map --json FILE],
+    [explore --json FILE], [lint --json], [certify --json],
+    [remap --json FILE]) and the daemon returns in its [payload] field.
+    [bin/nocmap.ml] and {!Service} both call these, so
+    "served response == one-shot CLI output" holds by construction and
+    is additionally pinned by the serve tests and the CI
+    [serve-correctness] job. *)
+
+val design : Noc_core.Design_flow.t -> string
+(** A completed design as pretty-printed JSON
+    ({!Noc_export.Design_export.design_to_string}). *)
+
+val points : Noc_power.Design_space.point list -> string
+(** A design-space sweep's points as pretty-printed JSON (what
+    [nocmap explore --json] writes). *)
+
+val lint : Noc_analysis.Analyzer.report -> string
+(** A lint report as JSON, newline-terminated like the CLI's
+    [print_endline]. *)
+
+val certificate : Noc_analysis.Certify.t -> string
+(** A signed certificate as JSON, newline-terminated like the CLI's
+    [print_endline]. *)

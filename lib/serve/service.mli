@@ -1,0 +1,70 @@
+(** The daemon's scheduler core, independent of any socket.
+
+    {!prepare} turns a wire {!Protocol.op} into a validated {e job}
+    with a canonical single-flight key; {!plan} coalesces a batch of
+    jobs down to its distinct keys; {!execute_batch} runs a planned
+    batch on the shared {!Noc_util.Domain_pool}, first merging the
+    batch's overlapping explore grids into one deduplicated sweep-point
+    set.  The {!Server} select loop is a thin shell around these three
+    functions, which keeps the coalescing and batching semantics
+    unit-testable without sockets.
+
+    {2 Single-flight coalescing}
+
+    A job's [key] is derived from {!Noc_core.Mapping_cache}'s canonical
+    problem digest (config knobs, groups, IEEE-exact flows — names
+    excluded) plus the operation and its flags, so two requests whose
+    {e problems} are identical coalesce even when their spec texts
+    differ cosmetically.  Within a batch, each distinct key computes
+    once and the payload fans out to every requester; across batches,
+    the shared {!Noc_util.Result_cache} replays the stored attempts, so
+    an identical problem still computes at most once per process
+    lifetime.  Payloads are deterministic (pinned repo-wide), hence
+    fanning out one computation is byte-indistinguishable from running
+    every request alone. *)
+
+type job
+(** A validated, executable request. *)
+
+val key : job -> string
+(** The canonical single-flight key (digest-based, stable across
+    processes of the same build). *)
+
+val prepare : Protocol.op -> (job, Protocol.error_code * string) result
+(** Parse and validate an executable operation ([Map]/[Explore]/
+    [Lint]/[Certify]/[Remap]).  Control operations ([Ping]/[Stats]/
+    [Shutdown]) are the server's business and return [Bad_request]
+    here. *)
+
+val prepare_cached : Protocol.op -> (job, Protocol.error_code * string) result
+(** {!prepare} memoized on a digest of the whole op: under coalescing
+    load the same bytes arrive many times, and re-parsing a large spec
+    per request dominates the warm path (it scales per {e request}
+    where everything downstream scales per {e distinct key}).  The
+    server admits through this. *)
+
+type plan = {
+  unique : job array;  (** distinct jobs, first-seen order *)
+  assign : int array;  (** per input index, the index into [unique] *)
+  coalesced : int;  (** inputs beyond the first per key *)
+}
+
+val plan : job array -> plan
+
+val merge_explore_points : job array -> int
+(** The number of sweep points shared by at least two distinct explore
+    jobs of this batch over the same mapping problem — the points the
+    batching layer solves exactly once before fan-out (exposed for
+    tests and metrics). *)
+
+val execute_batch : ?jobs:int -> job array -> (string, string) result array
+(** Execute the distinct jobs of a batch (callers pass [plan.unique]).
+    Explore jobs' overlapping grid points are pre-solved once into the
+    shared cache ({!merge_explore_points}), then every job runs on the
+    {!Noc_util.Domain_pool}.  Each slot is the job's payload bytes, or
+    [Error] with a message when the operation itself fails (an
+    unmappable spec, say).  Never raises. *)
+
+val execute : job -> (string, string) result
+(** Run one job inline (no pool, no merge) — what a batch of size one
+    reduces to. *)

@@ -6,6 +6,8 @@ let m_tasks = Metrics.counter "pool.tasks"
 let m_stolen = Metrics.counter "pool.stolen_tasks"
 let g_workers = Metrics.gauge "pool.workers"
 let g_queue_depth = Metrics.gauge "pool.queue_depth"
+let g_busy = Metrics.gauge "pool.busy_workers"
+let g_utilization = Metrics.gauge "pool.utilization"
 
 let default_jobs_ref = ref (max 1 (Domain.recommended_domain_count ()))
 
@@ -53,6 +55,11 @@ let shutting_down = ref false
 
 let worker_handles : unit Domain.t list ref = ref []
 
+(* Domains currently draining a chunk of some batch, mirrored into the
+   [pool.busy_workers] gauge (a gauge cell has no atomic add, so the
+   count lives here). *)
+let busy_count = Atomic.make 0
+
 let drain ~helper b =
   (* Anyone draining — pool worker or submitter — must run nested
      batches inline: a task that re-entered [run_batch] here would wait
@@ -61,12 +68,15 @@ let drain ~helper b =
      between batches. *)
   let was_in_worker = Domain.DLS.get in_worker in
   Domain.DLS.set in_worker true;
+  Metrics.set g_busy (float_of_int (Atomic.fetch_and_add busy_count 1 + 1));
   let continue = ref true in
   while !continue do
     let start = Atomic.fetch_and_add b.next b.chunk in
     if start >= b.n then continue := false
     else begin
       let stop = min b.n (start + b.chunk) in
+      (* Tasks not yet claimed by anyone: the live queue depth. *)
+      Metrics.set g_queue_depth (float_of_int (max 0 (b.n - stop)));
       (* A chunk claimed by a pool worker (rather than the submitting
          domain) is a steal: work that would otherwise have run on the
          submitter.  Per-worker chunk spans give the trace one row per
@@ -97,6 +107,7 @@ let drain ~helper b =
       end
     end
   done;
+  Metrics.set g_busy (float_of_int (max 0 (Atomic.fetch_and_add busy_count (-1) - 1)));
   Domain.DLS.set in_worker was_in_worker
 
 let worker_body () =
@@ -176,6 +187,11 @@ let run_batch ~helpers ~n ~chunk run_task =
   done;
   current := None;
   Metrics.set g_queue_depth 0.0;
+  (* Fraction of the process's domains (workers + the submitter) that
+     took part in the batch just finished. *)
+  let participants = min (Atomic.get b.joined) b.helpers_wanted + 1 in
+  let capacity = List.length !worker_handles + 1 in
+  Metrics.set g_utilization (float_of_int participants /. float_of_int capacity);
   Condition.broadcast done_cond;
   Mutex.unlock mutex
 

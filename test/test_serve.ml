@@ -1,0 +1,531 @@
+(* Serve-mode tests: the wire protocol's round-trips and handshake,
+   the scheduler core's single-flight coalescing and explore-grid
+   merging (pure, no sockets), and the live daemon end to end —
+   byte-identical payloads under concurrency with exactly one
+   underlying solve, admission control (queue and per-client caps),
+   version-mismatch rejection, and graceful shutdown that drains
+   in-flight work and flushes the persistent cache tier. *)
+
+module P = Noc_serve.Protocol
+module Service = Noc_serve.Service
+module Server = Noc_serve.Server
+module Client = Noc_serve.Client
+module Payload = Noc_serve.Payload
+module Metrics = Noc_obs.Metrics
+module DF = Noc_core.Design_flow
+module SD = Noc_benchkit.Soc_designs
+module Spec_parser = Noc_core.Spec_parser
+module Mapping_cache = Noc_core.Mapping_cache
+
+let spec_text name ucs = Spec_parser.to_text (DF.spec_of_use_cases ~name ucs)
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let d1_text = lazy (spec_text "d1" (SD.d1 ()))
+
+let map_op ?(config = P.default_config) name text = P.Map { name; spec = text; config }
+
+(* --- protocol ------------------------------------------------------------- *)
+
+let sample_ops () =
+  let text = Lazy.force d1_text in
+  [
+    P.Ping;
+    P.Stats;
+    P.Shutdown;
+    map_op "d1" text;
+    P.Explore
+      {
+        name = "d1";
+        spec = text;
+        config = P.default_config;
+        frequencies = Some [ 250.0; 500.0 ];
+        slot_counts = Some [ 16; 32 ];
+        torus = true;
+      };
+    P.Explore
+      {
+        name = "d1";
+        spec = text;
+        config = { P.default_config with slots = 16 };
+        frequencies = None;
+        slot_counts = None;
+        torus = false;
+      };
+    P.Lint { name = "d1"; spec = text; config = P.default_config; deep = true };
+    P.Certify { name = "d1"; spec = text; config = P.default_config };
+    P.Remap
+      {
+        from_name = "d1";
+        from_spec = text;
+        to_name = "d1b";
+        to_spec = text;
+        config = P.default_config;
+      };
+  ]
+
+let test_request_roundtrip () =
+  List.iteri
+    (fun i op ->
+      let line = P.encode_request { P.id = i; op } in
+      match P.decode_request line with
+      | Error msg -> Alcotest.failf "request %d did not decode: %s" i msg
+      | Ok req ->
+        Alcotest.(check int) "id survives" i req.P.id;
+        Alcotest.(check string)
+          (Printf.sprintf "op %d re-encodes identically" i)
+          line
+          (P.encode_request req))
+    (sample_ops ())
+
+let test_response_roundtrip () =
+  let responses =
+    [
+      P.Result { id = 3; payload = "line one\nline two\n"; coalesced = true };
+      P.Result { id = 0; payload = ""; coalesced = false };
+      P.Failure { id = 9; code = P.Overloaded; message = "queue full"; retry_after_ms = Some 50 };
+      P.Failure { id = -1; code = P.Bad_request; message = "no"; retry_after_ms = None };
+    ]
+  in
+  List.iter
+    (fun r ->
+      let line = P.encode_response r in
+      Alcotest.(check bool) "one line" true (String.index line '\n' = String.length line - 1);
+      match P.decode_response line with
+      | Error msg -> Alcotest.failf "response did not decode: %s" msg
+      | Ok r' -> Alcotest.(check string) "re-encodes identically" line (P.encode_response r'))
+    responses
+
+let test_preescaped_encoding () =
+  List.iter
+    (fun (id, coalesced, payload) ->
+      Alcotest.(check string) "preescaped == encode_response"
+        (P.encode_response (P.Result { id; payload; coalesced }))
+        (P.encode_result_preescaped ~id ~coalesced
+           ~escaped_payload:(P.escape_payload payload)))
+    [
+      (0, false, "");
+      (7, true, "line one\nline \"two\"\\\n");
+      (42, true, Lazy.force d1_text);
+      (3, false, "tab\thigh\x01low");
+    ]
+
+let test_error_codes () =
+  List.iter
+    (fun c ->
+      match P.error_code_of_string (P.error_code_to_string c) with
+      | Some c' -> Alcotest.(check bool) "code round-trips" true (c = c')
+      | None -> Alcotest.fail "code did not round-trip")
+    [
+      P.Overloaded; P.Too_many_inflight; P.Shutting_down; P.Bad_request; P.Spec_error;
+      P.Exec_error; P.Version_mismatch;
+    ]
+
+let test_handshake () =
+  (match P.check_greeting (P.greeting ()) with
+  | Ok build ->
+    Alcotest.(check string) "greeting carries our build" (Noc_util.Build_info.fingerprint ()) build
+  | Error msg -> Alcotest.failf "own greeting rejected: %s" msg);
+  (match P.check_hello (P.hello ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "own hello rejected: %s" msg);
+  (match P.check_hello (P.hello ~build:"deadbeef" ()) with
+  | Ok () -> Alcotest.fail "foreign build accepted"
+  | Error msg ->
+    Alcotest.(check bool)
+      "mismatch names both builds" true
+      (contains_sub msg "does not match"));
+  match P.hello_verdict (P.hello_ok ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "own hello_ok rejected: %s" msg
+
+(* --- scheduler core (no sockets) ------------------------------------------ *)
+
+let prepare_exn op =
+  match Service.prepare op with
+  | Ok job -> job
+  | Error (_, msg) -> Alcotest.failf "prepare failed: %s" msg
+
+let test_plan_coalesces () =
+  let text = Lazy.force d1_text in
+  let jobs = Array.init 8 (fun _ -> prepare_exn (map_op "d1" text)) in
+  let plan = Service.plan jobs in
+  Alcotest.(check int) "one unique job" 1 (Array.length plan.Service.unique);
+  Alcotest.(check int) "seven coalesced" 7 plan.Service.coalesced;
+  Array.iter (Alcotest.(check int) "all assigned to slot 0" 0) plan.Service.assign;
+  (* A cosmetically different text posing the same named problem
+     coalesces; a different config does not. *)
+  let commented = text ^ "# a trailing comment\n" in
+  let other_config = { P.default_config with slots = 16 } in
+  let jobs' =
+    [|
+      prepare_exn (map_op "d1" text);
+      prepare_exn (map_op "d1" commented);
+      prepare_exn (map_op ~config:other_config "d1" text);
+    |]
+  in
+  let plan' = Service.plan jobs' in
+  Alcotest.(check int) "comment coalesces, config splits" 2 (Array.length plan'.Service.unique);
+  Alcotest.(check int) "assign comment to first" plan'.Service.assign.(0)
+    plan'.Service.assign.(1);
+  (* Same problem under a different op never coalesces. *)
+  let mixed =
+    [|
+      prepare_exn (map_op "d1" text);
+      prepare_exn (P.Certify { name = "d1"; spec = text; config = P.default_config });
+    |]
+  in
+  Alcotest.(check int) "map and certify stay distinct" 2
+    (Array.length (Service.plan mixed).Service.unique)
+
+let test_explore_merge () =
+  let text = Lazy.force d1_text in
+  let explore frequencies =
+    prepare_exn
+      (P.Explore
+         {
+           name = "d1";
+           spec = text;
+           config = P.default_config;
+           frequencies = Some frequencies;
+           slot_counts = Some [ 16; 32 ];
+           torus = false;
+         })
+  in
+  (* Grids [250;500] and [500;1000] overlap at 500 MHz only: 1 shared
+     frequency x 2 slot counts x 1 topology = 2 shared points. *)
+  let jobs = [| explore [ 250.0; 500.0 ]; explore [ 500.0; 1000.0 ] |] in
+  Alcotest.(check int) "overlap of the two grids" 2 (Service.merge_explore_points jobs);
+  Alcotest.(check int) "one grid shares nothing" 0
+    (Service.merge_explore_points [| explore [ 250.0; 500.0 ] |]);
+  (* Identical grids are fully shared - but identical jobs coalesce
+     before merging, so this only matters for distinct keys. *)
+  let torus_twin =
+    prepare_exn
+      (P.Explore
+         {
+           name = "d1";
+           spec = text;
+           config = P.default_config;
+           frequencies = Some [ 250.0; 500.0 ];
+           slot_counts = Some [ 16; 32 ];
+           torus = true;
+         })
+  in
+  Alcotest.(check int) "mesh half of a torus grid is shared" 4
+    (Service.merge_explore_points [| explore [ 250.0; 500.0 ]; torus_twin |])
+
+let test_prepare_rejects () =
+  (match Service.prepare (map_op "bad" "cores nope\n") with
+  | Error (P.Spec_error, _) -> ()
+  | Error _ -> Alcotest.fail "wrong error code"
+  | Ok _ -> Alcotest.fail "garbage spec accepted");
+  match Service.prepare P.Ping with
+  | Error (P.Bad_request, _) -> ()
+  | _ -> Alcotest.fail "control op accepted as executable"
+
+(* --- live daemon ----------------------------------------------------------- *)
+
+let socket_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "nocmap-test-%d-%s.sock" (Unix.getpid ()) name)
+
+let start_server cfg =
+  let handle = Domain.spawn (fun () -> Server.run cfg) in
+  (* Wait for the socket to accept connections. *)
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "server socket never came up"
+    else
+      match Client.connect ~socket:cfg.Server.socket_path () with
+      | Ok c -> Client.close c
+      | Error _ ->
+        Unix.sleepf 0.05;
+        wait (tries - 1)
+  in
+  wait 100;
+  handle
+
+let join_server handle =
+  match Domain.join handle with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "server exited with: %s" msg
+
+let request_exn conn op =
+  match Client.request conn op with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "request failed: %s" msg
+
+let payload_exn = function
+  | P.Result { payload; _ } -> payload
+  | P.Failure { code; message; _ } ->
+    Alcotest.failf "request failed: %s: %s" (P.error_code_to_string code) message
+
+let test_single_flight () =
+  let text = Lazy.force d1_text in
+  let config = P.to_noc_config P.default_config in
+  Mapping_cache.set_enabled true;
+  Mapping_cache.clear ();
+  Metrics.reset ();
+  (* Baseline: the attempts one cold solve of this problem costs, and
+     the exact payload it produces. *)
+  let spec =
+    match Spec_parser.parse ~name:"d1" text with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "baseline spec did not parse"
+  in
+  let expected =
+    match DF.run ~config spec with
+    | Ok d -> Payload.design d
+    | Error msg -> Alcotest.failf "baseline run failed: %s" msg
+  in
+  let attempts = Metrics.counter "map.attempts" in
+  let baseline_attempts = Metrics.counter_value attempts in
+  Alcotest.(check bool) "cold solve attempts something" true (baseline_attempts > 0);
+  (* Now serve the same problem to 6 concurrent clients from a cold
+     cache: every payload must be byte-identical to the one-shot
+     design, and the cost must be one solve - coalescing within a
+     batch, the shared cache across batches. *)
+  Mapping_cache.clear ();
+  Metrics.reset ();
+  let cfg =
+    { (Server.default_config ~socket_path:(socket_path "flight")) with linger_ms = 150.0 }
+  in
+  let handle = start_server cfg in
+  let clients =
+    List.init 6 (fun _ ->
+        Domain.spawn (fun () ->
+            match Client.connect ~socket:cfg.Server.socket_path () with
+            | Error msg -> Error msg
+            | Ok conn ->
+              let r = Client.request conn (map_op "d1" text) in
+              Client.close conn;
+              r))
+  in
+  let results = List.map Domain.join clients in
+  List.iter
+    (fun r ->
+      match r with
+      | Ok response ->
+        Alcotest.(check string) "served payload == one-shot bytes" expected
+          (payload_exn response)
+      | Error msg -> Alcotest.failf "client failed: %s" msg)
+    results;
+  Alcotest.(check int) "exactly one underlying solve" baseline_attempts
+    (Metrics.counter_value attempts);
+  Alcotest.(check bool) "serve.requests counted" true
+    (Metrics.counter_value (Metrics.counter "serve.requests") >= 6);
+  Server.stop ();
+  join_server handle
+
+let test_backpressure_queue () =
+  let text = Lazy.force d1_text in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:(socket_path "queue")) with
+      max_queue = 1;
+      linger_ms = 600.0;
+      retry_after_ms = 75;
+    }
+  in
+  let handle = start_server cfg in
+  (* First request occupies the whole queue for the linger window;
+     a second, from another client, must be shed - not stalled. *)
+  let first =
+    Domain.spawn (fun () ->
+        match Client.connect ~socket:cfg.Server.socket_path () with
+        | Error msg -> Error msg
+        | Ok conn ->
+          let r = Client.request conn (map_op "d1" text) in
+          Client.close conn;
+          r)
+  in
+  Unix.sleepf 0.2;
+  (match Client.connect ~socket:cfg.Server.socket_path () with
+  | Error msg -> Alcotest.failf "second client connect failed: %s" msg
+  | Ok conn -> (
+    match request_exn conn (map_op "d1" text) with
+    | P.Failure { code = P.Overloaded; retry_after_ms; _ } ->
+      Alcotest.(check (option int)) "retry-after hint" (Some 75) retry_after_ms;
+      Client.close conn
+    | P.Failure { code; _ } ->
+      Alcotest.failf "expected overloaded, got %s" (P.error_code_to_string code)
+    | P.Result _ -> Alcotest.fail "second request should have been shed"));
+  (match Domain.join first with
+  | Ok (P.Result _) -> ()
+  | Ok (P.Failure { message; _ }) -> Alcotest.failf "first request failed: %s" message
+  | Error msg -> Alcotest.failf "first client failed: %s" msg);
+  Server.stop ();
+  join_server handle
+
+let test_backpressure_inflight () =
+  let text = Lazy.force d1_text in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:(socket_path "inflight")) with
+      max_inflight = 1;
+      linger_ms = 600.0;
+    }
+  in
+  let handle = start_server cfg in
+  (match Client.connect ~socket:cfg.Server.socket_path () with
+  | Error msg -> Alcotest.failf "connect failed: %s" msg
+  | Ok conn ->
+    (* Pipeline two requests without reading: the second exceeds the
+       per-client cap and fails immediately; the first still completes. *)
+    let id0 = Client.send conn (map_op "d1" text) in
+    let id1 = Client.send conn (map_op "d1" text) in
+    let r1 = Client.recv conn in
+    let r0 = Client.recv conn in
+    (match r1 with
+    | Ok (P.Failure { id; code = P.Too_many_inflight; retry_after_ms; _ }) ->
+      Alcotest.(check int) "shed response echoes the second id" id1 id;
+      Alcotest.(check bool) "carries a retry hint" true (retry_after_ms <> None)
+    | Ok _ -> Alcotest.fail "second pipelined request was not shed"
+    | Error msg -> Alcotest.failf "recv failed: %s" msg);
+    (match r0 with
+    | Ok (P.Result { id; _ }) -> Alcotest.(check int) "first id completes" id0 id
+    | Ok (P.Failure { message; _ }) -> Alcotest.failf "first request failed: %s" message
+    | Error msg -> Alcotest.failf "recv failed: %s" msg);
+    Client.close conn);
+  Server.stop ();
+  join_server handle
+
+let test_version_mismatch () =
+  let cfg = Server.default_config ~socket_path:(socket_path "vers") in
+  let handle = start_server cfg in
+  (match Client.connect ~build:"deadbeef" ~socket:cfg.Server.socket_path () with
+  | Ok _ -> Alcotest.fail "mismatched build accepted"
+  | Error msg ->
+    Alcotest.(check bool) "rejection names the mismatch" true
+      (contains_sub msg "does not match"));
+  (* The server survives the rejection and still serves matched clients. *)
+  (match Client.connect ~socket:cfg.Server.socket_path () with
+  | Error msg -> Alcotest.failf "matched client rejected after mismatch: %s" msg
+  | Ok conn ->
+    (match request_exn conn P.Ping with
+    | P.Result { payload; _ } -> Alcotest.(check string) "pong" "pong" payload
+    | P.Failure _ -> Alcotest.fail "ping failed");
+    Client.close conn);
+  Server.stop ();
+  join_server handle
+
+let test_graceful_shutdown () =
+  let text = Lazy.force d1_text in
+  let dir = Filename.temp_file "nocmap-serve-cache" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Mapping_cache.set_enabled true;
+  Mapping_cache.clear ();
+  Mapping_cache.set_dir (Some dir);
+  let cfg = Server.default_config ~socket_path:(socket_path "drain") in
+  let handle = start_server cfg in
+  (match Client.connect ~socket:cfg.Server.socket_path () with
+  | Error msg -> Alcotest.failf "connect failed: %s" msg
+  | Ok conn ->
+    (* Admit work, then ask for shutdown on the same connection: the
+       admitted request must still complete before the server exits. *)
+    let id0 = Client.send conn (map_op "d1" text) in
+    let id1 = Client.send conn P.Shutdown in
+    let seen = ref [] in
+    for _ = 1 to 2 do
+      match Client.recv conn with
+      | Ok r -> seen := r :: !seen
+      | Error msg -> Alcotest.failf "recv failed: %s" msg
+    done;
+    let find id = List.find_opt (fun r -> P.response_id r = id) !seen in
+    (match find id0 with
+    | Some (P.Result { payload; _ }) ->
+      Alcotest.(check bool) "drained payload is a design" true
+        (contains_sub payload "\"design\"" || contains_sub payload "switches")
+    | _ -> Alcotest.fail "admitted request was not drained");
+    (match find id1 with
+    | Some (P.Result { payload; _ }) -> Alcotest.(check string) "ack" "draining" payload
+    | _ -> Alcotest.fail "shutdown not acknowledged");
+    Client.close conn);
+  join_server handle;
+  (* The drain unlinked the socket and flushed the disk tier's STATS. *)
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists cfg.Server.socket_path);
+  (match Client.connect ~socket:cfg.Server.socket_path () with
+  | Ok _ -> Alcotest.fail "connected to a stopped server"
+  | Error _ -> ());
+  let version = Noc_util.Build_info.fingerprint () in
+  (match Noc_util.Result_cache.read_persisted_stats ~dir ~version with
+  | Some s -> Alcotest.(check bool) "flushed stats record stores" true (s.Noc_util.Result_cache.stores > 0)
+  | None -> Alcotest.fail "no STATS flushed to the disk tier");
+  Mapping_cache.set_dir None
+
+let test_bad_requests () =
+  let cfg = Server.default_config ~socket_path:(socket_path "bad") in
+  let handle = start_server cfg in
+  (match Client.connect ~socket:cfg.Server.socket_path () with
+  | Error msg -> Alcotest.failf "connect failed: %s" msg
+  | Ok conn ->
+    (match request_exn conn (map_op "oops" "cores banana\n") with
+    | P.Failure { code = P.Spec_error; _ } -> ()
+    | P.Failure { code; _ } ->
+      Alcotest.failf "expected spec-error, got %s" (P.error_code_to_string code)
+    | P.Result _ -> Alcotest.fail "garbage spec mapped");
+    (* An unmappable (but well-formed) problem is an exec error. *)
+    (* A 16-core chain of link-saturating flows: the co-location
+       closure exceeds one switch's NIs, so every mesh size is
+       statically refuted and the map fails fast. *)
+    let impossible =
+      Buffer.create 256 |> fun b ->
+      Buffer.add_string b "name impossible\ncores 16\nuse-case u\n";
+      for i = 0 to 14 do
+        Buffer.add_string b (Printf.sprintf "flow %d -> %d bw 1e9\n" i (i + 1))
+      done;
+      Buffer.contents b
+    in
+    (match request_exn conn (map_op "impossible" impossible) with
+    | P.Failure { code = P.Exec_error; _ } -> ()
+    | P.Failure { code; _ } ->
+      Alcotest.failf "expected exec-error, got %s" (P.error_code_to_string code)
+    | P.Result _ -> Alcotest.fail "impossible bandwidth mapped");
+    Client.close conn);
+  Server.stop ();
+  join_server handle
+
+let test_pool_gauges () =
+  Metrics.reset ();
+  let r = Noc_util.Domain_pool.map ~jobs:2 (fun x -> x * x) [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  Alcotest.(check (list int)) "pool still maps" [ 1; 4; 9; 16; 25; 36; 49; 64 ] r;
+  let gauge name = Metrics.gauge_value (Metrics.gauge name) in
+  Alcotest.(check bool) "utilization recorded" true (gauge "pool.utilization" > 0.0);
+  Alcotest.(check (float 0.0)) "no busy workers at rest" 0.0 (gauge "pool.busy_workers");
+  Alcotest.(check (float 0.0)) "queue drained" 0.0 (gauge "pool.queue_depth");
+  Alcotest.(check bool) "utilization <= 1" true (gauge "pool.utilization" <= 1.0)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "pre-escaped fan-out encoding" `Quick test_preescaped_encoding;
+          Alcotest.test_case "error codes" `Quick test_error_codes;
+          Alcotest.test_case "handshake" `Quick test_handshake;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "plan coalesces by canonical key" `Quick test_plan_coalesces;
+          Alcotest.test_case "explore grids merge" `Quick test_explore_merge;
+          Alcotest.test_case "prepare rejects garbage" `Quick test_prepare_rejects;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "single flight, byte-identical" `Quick test_single_flight;
+          Alcotest.test_case "queue backpressure sheds" `Quick test_backpressure_queue;
+          Alcotest.test_case "per-client inflight cap" `Quick test_backpressure_inflight;
+          Alcotest.test_case "version mismatch rejected" `Quick test_version_mismatch;
+          Alcotest.test_case "graceful shutdown drains and flushes" `Quick
+            test_graceful_shutdown;
+          Alcotest.test_case "bad requests fail structurally" `Quick test_bad_requests;
+        ] );
+      ( "pool",
+        [ Alcotest.test_case "busy/utilization gauges" `Quick test_pool_gauges ] );
+    ]
